@@ -1,0 +1,37 @@
+# Convenience targets for the repro library.
+
+.PHONY: install test bench bench-full experiments examples clean
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/
+
+test-output:
+	pytest tests/ 2>&1 | tee test_output.txt
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+bench-output:
+	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+bench-full:
+	REPRO_BENCH_PROFILE=full pytest benchmarks/ --benchmark-only
+
+experiments:
+	cd benchmarks && python make_experiments_md.py > ../EXPERIMENTS.md
+
+examples:
+	python examples/quickstart.py
+	python examples/baseline_comparison.py
+	python examples/decoupling_analysis.py
+	python examples/dynamic_graph_demo.py
+	python examples/sensor_outage_robustness.py
+	python examples/framework_instantiations.py
+	python examples/scenario_shift.py
+
+clean:
+	rm -rf build dist src/*.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,59 @@
+"""Figure 7 — parameter sensitivity on METR-LA.
+
+Sweeps the three hyper-parameters the paper analyses: spatial kernel size
+``k_s``, temporal kernel size ``k_t`` (Fig. 7a) and hidden dimension ``d``
+(Fig. 7b).  Shape claims: small kernels (2-3) suffice — the diffusion
+process is spatially/temporally local — and MAE versus ``d`` is U-shaped
+(too small underfits, too large overfits/undertrains).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import d2stgnn_config, get_data, profile, save_results, train_and_evaluate
+from repro.core import D2STGNN
+
+K_VALUES = (1, 2, 3, 4)
+D_VALUES = (4, 16, 64)
+
+
+def _run_with(data, **overrides) -> float:
+    model = D2STGNN(d2stgnn_config(data, **overrides), data.adjacency)
+    report = train_and_evaluate("D2STGNN-sweep", data, seed=0, model=model)
+    return report["avg"]["mae"]
+
+
+def test_fig7_parameter_sensitivity(benchmark):
+    data = get_data("metr-la-sim")
+
+    def run():
+        results = {"k_s": {}, "k_t": {}, "d": {}}
+        for k in K_VALUES:
+            results["k_s"][k] = _run_with(data, k_s=k)
+        for k in K_VALUES:
+            results["k_t"][k] = _run_with(data, k_t=k)
+        for d in D_VALUES:
+            heads = 2 if d >= 8 else 1
+            results["d"][d] = _run_with(data, hidden_dim=d, num_heads=heads)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print("\n=== Figure 7(a): kernel sensitivity (avg MAE, metr-la-sim) ===")
+    print("k_s: " + "  ".join(f"{k}->{v:.3f}" for k, v in results["k_s"].items()))
+    print("k_t: " + "  ".join(f"{k}->{v:.3f}" for k, v in results["k_t"].items()))
+    print("=== Figure 7(b): hidden dimension ===")
+    print("d:   " + "  ".join(f"{d}->{v:.3f}" for d, v in results["d"].items()))
+
+    # Shape: some small kernel (2 or 3) is at least as good as the extremes.
+    ks = results["k_s"]
+    assert min(ks[2], ks[3]) <= min(ks[1], ks[4]) * 1.1, f"k_s locality violated: {ks}"
+    kt = results["k_t"]
+    assert min(kt[2], kt[3]) <= min(kt[1], kt[4]) * 1.1, f"k_t locality violated: {kt}"
+
+    # Shape: tiny hidden dim underfits relative to the middle setting.
+    d = results["d"]
+    assert d[16] < d[4], f"d=16 should beat underfit d=4: {d}"
+
+    save_results("fig7_sensitivity", {k: {str(i): v for i, v in vals.items()} for k, vals in results.items()})

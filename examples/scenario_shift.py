@@ -1,0 +1,72 @@
+"""Distribution shift: how does a trained forecaster handle regime changes?
+
+Trains D2STGNN on a *normal* traffic regime and evaluates, without
+retraining, on simulated regime shifts: incident-heavy congestion, a
+tightly coupled network, an almost uncoupled one, and flaky sensors.  The
+latent decomposition of the simulator makes the shifts precise — each
+scenario changes exactly one aspect of the generative process.
+
+    python examples/scenario_shift.py
+"""
+
+import numpy as np
+
+from repro.core import D2STGNN, D2STGNNConfig
+from repro.data import build_forecasting_data, load_dataset, scenario_config, simulate_traffic
+from repro.data.datasets import PRESETS, TrafficDataset
+from repro.graph import gaussian_kernel_adjacency, generate_road_network, shortest_path_distances
+from repro.training import Trainer, TrainerConfig, masked_mae, predict_split
+from repro.utils import bar_chart
+from repro.utils.seed import set_seed
+
+NUM_NODES, NUM_STEPS = 10, 1200
+SCENARIOS = ("normal", "incident-heavy", "diffusion-dominant", "isolated", "flaky-sensors")
+
+
+def dataset_for(scenario: str, network, adjacency) -> TrafficDataset:
+    series = simulate_traffic(
+        network, NUM_STEPS, kind="speed",
+        config=scenario_config(scenario), rng=np.random.default_rng(77),
+    )
+    return TrafficDataset(
+        spec=PRESETS["metr-la-sim"].scaled(num_nodes=NUM_NODES, num_steps=NUM_STEPS),
+        series=series, network=network, adjacency=adjacency,
+    )
+
+
+def main() -> None:
+    set_seed(0)
+    # One fixed road network across regimes: only the traffic changes.
+    network = generate_road_network(NUM_NODES, np.random.default_rng(42))
+    adjacency = gaussian_kernel_adjacency(shortest_path_distances(network.distances))
+
+    train_data = build_forecasting_data(dataset_for("normal", network, adjacency))
+    config = D2STGNNConfig(
+        num_nodes=NUM_NODES, steps_per_day=train_data.steps_per_day,
+        hidden_dim=16, embed_dim=8, num_layers=2, num_heads=2,
+    )
+    model = D2STGNN(config, adjacency)
+    print("training D2STGNN on the 'normal' regime ...")
+    Trainer(model, train_data, TrainerConfig(epochs=4, batch_size=32)).train()
+
+    results = {}
+    for scenario in SCENARIOS:
+        data = build_forecasting_data(dataset_for(scenario, network, adjacency))
+        prediction, target = predict_split(model, data, split="test")
+        results[scenario] = masked_mae(prediction, target)
+
+    print("\ntest MAE by evaluation regime (trained on 'normal'):")
+    print(bar_chart(results, unit=" MAE"))
+    print(
+        "\nReading the shifts: a diffusion-dominant regime is the easiest —\n"
+        "diffusion averages neighbouring sensors, smoothing the series.  An\n"
+        "isolated regime removes that redundancy, leaving each sensor's own\n"
+        "noisy demand, and incident-heavy traffic adds genuine surprises.\n"
+        "Flaky sensors hurt the most: the masked metric ignores the zero\n"
+        "*targets*, but the zero *inputs* corrupt the history the model\n"
+        "reads, a corruption level it rarely saw in training."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Sensor-outage robustness (the paper's Fig. 8 anecdote).
+
+In the METR-LA visualisation, sensor 111 "apparently failed in the afternoon
+of June 13, 2012, where the records suddenly were zero. However, our model
+does not forcefully fit these noises and correctly predicted the traffic
+congestion."  This example injects a two-hour outage into the test portion
+of a simulated dataset, trains D2STGNN (the masked-MAE loss never trains on
+the zeros), and shows the prediction riding through the outage at a
+plausible traffic level.
+
+    python examples/sensor_outage_robustness.py
+"""
+
+import numpy as np
+
+from repro.core import D2STGNN, D2STGNNConfig
+from repro.data import SimulationConfig, build_forecasting_data
+from repro.data.datasets import PRESETS, TrafficDataset
+from repro.data.simulator import simulate_traffic
+from repro.graph import (
+    gaussian_kernel_adjacency,
+    generate_road_network,
+    shortest_path_distances,
+)
+from repro.training import Trainer, TrainerConfig, predict_split
+from repro.utils import sparkline
+from repro.utils.seed import set_seed
+
+
+def main() -> None:
+    set_seed(0)
+    num_nodes, num_steps = 10, 1400
+    rng = np.random.default_rng(42)
+    network = generate_road_network(num_nodes, rng)
+    series = simulate_traffic(
+        network, num_steps, kind="speed",
+        config=SimulationConfig(failure_rate=0.0), rng=rng,
+    )
+    # Inject a 2-hour outage on node 0 inside the test span (last 20%).
+    outage = slice(int(num_steps * 0.88), int(num_steps * 0.88) + 24)
+    series.values[outage, 0] = 0.0
+    series.failure_mask[outage, 0] = True
+    print(f"injected outage on node 0, steps {outage.start}..{outage.stop}")
+
+    adjacency = gaussian_kernel_adjacency(shortest_path_distances(network.distances))
+    dataset = TrafficDataset(
+        spec=PRESETS["metr-la-sim"].scaled(num_nodes=num_nodes, num_steps=num_steps),
+        series=series, network=network, adjacency=adjacency,
+    )
+    data = build_forecasting_data(dataset)
+
+    config = D2STGNNConfig(
+        num_nodes=num_nodes, steps_per_day=dataset.steps_per_day,
+        hidden_dim=16, embed_dim=8, num_layers=2, num_heads=2,
+    )
+    model = D2STGNN(config, adjacency)
+    print("training D2STGNN (loss masks the zero readings) ...")
+    Trainer(model, data, TrainerConfig(epochs=4, batch_size=32)).train()
+
+    prediction, target = predict_split(model, data, split="test")
+    pred_h1 = prediction[:, 0, 0, 0]  # horizon-1 series for the failed node
+    true_h1 = target[:, 0, 0, 0]
+
+    window = slice(max(0, len(true_h1) - 200), len(true_h1))
+    print("\nnode 0, horizon-1 forecast over the test stretch (0-70 mph):")
+    print(f"truth: {sparkline(true_h1[window], 0, 70)}")
+    print(f"model: {sparkline(pred_h1[window], 0, 70)}")
+
+    failed = true_h1 == 0.0
+    if failed.any():
+        during = pred_h1[failed]
+        print(
+            f"\nduring the outage the sensor reads 0.0 mph; the model keeps "
+            f"predicting {during.mean():.1f} mph on average "
+            f"(min {during.min():.1f}) — it does not chase the failure."
+        )
+    healthy = ~failed
+    mae = np.abs(pred_h1[healthy] - true_h1[healthy]).mean()
+    print(f"horizon-1 MAE on healthy readings: {mae:.2f} mph")
+
+
+if __name__ == "__main__":
+    main()

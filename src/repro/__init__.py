@@ -1,0 +1,40 @@
+"""repro — reproduction of D2STGNN (Shao et al., VLDB 2022).
+
+Decoupled Dynamic Spatial-Temporal Graph Neural Network for Traffic
+Forecasting, rebuilt from scratch on a numpy autodiff substrate, together
+with its full baseline suite, training pipeline, simulated datasets and the
+benchmark harness for every table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro.core import D2STGNN, D2STGNNConfig
+    from repro.data import load_dataset, build_forecasting_data
+    from repro.training import Trainer, TrainerConfig
+
+    data = build_forecasting_data(load_dataset("metr-la-sim"))
+    config = D2STGNNConfig(num_nodes=data.dataset.num_nodes,
+                           steps_per_day=data.steps_per_day)
+    model = D2STGNN(config, data.adjacency)
+    trainer = Trainer(model, data, TrainerConfig(epochs=10))
+    trainer.train()
+    print(trainer.evaluate())
+"""
+
+from . import analysis, baselines, core, data, experiments, graph, nn, optim, tensor, training, utils
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "analysis",
+    "baselines",
+    "core",
+    "data",
+    "experiments",
+    "graph",
+    "nn",
+    "optim",
+    "tensor",
+    "training",
+    "utils",
+]

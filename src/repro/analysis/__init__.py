@@ -1,0 +1,22 @@
+"""Post-hoc analysis of trained models: decomposition and graph inspection."""
+
+from .decomposition import (
+    GateProfile,
+    ResidualFlow,
+    gate_profile,
+    residual_flow,
+    true_diffusion_share,
+)
+from .graphs import GraphStats, adaptive_graph, dynamic_graphs_at_hour, graph_stats
+
+__all__ = [
+    "GateProfile",
+    "GraphStats",
+    "ResidualFlow",
+    "adaptive_graph",
+    "dynamic_graphs_at_hour",
+    "gate_profile",
+    "graph_stats",
+    "residual_flow",
+    "true_diffusion_share",
+]

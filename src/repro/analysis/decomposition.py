@@ -1,0 +1,139 @@
+"""Inspection tools for the DSTF decomposition machinery.
+
+These functions read out what a trained D2STGNN learned — gate values,
+residual signal flow, and (on simulated data, where the latent components
+are known) how the learned split compares to the ground truth.  Used by
+``examples/decoupling_analysis.py`` and the analysis tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.model import D2STGNN
+from ..data.datasets import ForecastingData
+from ..data.simulator import TrafficSeries
+from ..tensor import Tensor, no_grad
+
+__all__ = [
+    "GateProfile",
+    "ResidualFlow",
+    "gate_profile",
+    "residual_flow",
+    "true_diffusion_share",
+]
+
+
+@dataclass(frozen=True)
+class GateProfile:
+    """Estimation-gate statistics across one simulated day.
+
+    ``by_slot``: (steps_per_day, N) gate values Λ for every time slot and
+    node (first layer's gate); ``mean``/``spread`` summarise them.
+    """
+
+    by_slot: np.ndarray
+
+    @property
+    def mean(self) -> float:
+        return float(self.by_slot.mean())
+
+    @property
+    def spread(self) -> tuple[float, float]:
+        return float(self.by_slot.min()), float(self.by_slot.max())
+
+    def hourly(self, steps_per_day: int) -> np.ndarray:
+        """Average Λ into 24 hourly bins (over nodes)."""
+        slots = self.by_slot.shape[0]
+        hours = (np.arange(slots) * 24) // steps_per_day
+        return np.array([self.by_slot[hours == h].mean() for h in range(24)])
+
+
+def gate_profile(model: D2STGNN, day_of_week: int = 2, layer: int = 0) -> GateProfile:
+    """Read the estimation gate across every time-of-day slot.
+
+    Uses the given ``layer``'s gate with the model's shared embeddings; the
+    input signal does not enter Eq. 3, so no data is needed.
+    """
+    if not model.config.use_gate or not model.config.use_decouple:
+        raise ValueError("model was built without an estimation gate")
+    steps_per_day = model.config.steps_per_day
+    tod = np.arange(steps_per_day)[None, :]
+    dow = np.full_like(tod, day_of_week % 7)
+    with no_grad():
+        t_day, t_week = model.embeddings.time_features(tod, dow)
+        values = model.layers[layer].gate.gate_values(
+            t_day, t_week, model.embeddings.node_source, model.embeddings.node_target
+        ).numpy()[0, :, :, 0]
+    return GateProfile(by_slot=values)
+
+
+@dataclass(frozen=True)
+class ResidualFlow:
+    """Mean |signal| after each decomposition stage, per layer.
+
+    Rows: layers; columns: (input, gated, after diffusion backcast,
+    after inherent backcast).
+    """
+
+    magnitudes: np.ndarray
+
+    @property
+    def num_layers(self) -> int:
+        return self.magnitudes.shape[0]
+
+    def final_residual(self) -> float:
+        """|signal| left over after the last layer (discarded by Eq. 15)."""
+        return float(self.magnitudes[-1, -1])
+
+
+def residual_flow(model: D2STGNN, data: ForecastingData, batch_size: int = 32) -> ResidualFlow:
+    """Trace one test batch through the decomposition stages (Eqs. 1-3)."""
+    if not model.config.use_decouple:
+        raise ValueError("model was built without the decoupling framework")
+    model.eval()
+    batch = next(iter(data.loader("test", batch_size=batch_size, shuffle=False)))
+    rows = []
+    with no_grad():
+        latent = model.input_projection(Tensor(batch.x))
+        t_day, t_week = model.embeddings.time_features(batch.tod, batch.dow)
+        supports = model._supports(latent, t_day, t_week)
+        current = latent
+        for layer in model.layers:
+            if model.config.use_gate:
+                gate = layer.gate.gate_values(
+                    t_day, t_week, model.embeddings.node_source, model.embeddings.node_target
+                )
+                gated = gate * current
+            else:
+                gated = current
+            _, _, backcast_dif = layer.diffusion(gated, supports)
+            after_dif = current - backcast_dif if model.config.use_residual else current
+            _, _, backcast_inh = layer.inherent(after_dif)
+            after_inh = (
+                after_dif - backcast_inh if model.config.use_residual else after_dif
+            )
+            rows.append(
+                [
+                    float(np.abs(current.numpy()).mean()),
+                    float(np.abs(gated.numpy()).mean()),
+                    float(np.abs(after_dif.numpy()).mean()),
+                    float(np.abs(after_inh.numpy()).mean()),
+                ]
+            )
+            current = after_inh
+    return ResidualFlow(magnitudes=np.array(rows))
+
+
+def true_diffusion_share(series: TrafficSeries) -> float:
+    """Ground-truth diffusion fraction of the latent load (simulator only).
+
+    Returns NaN for external datasets, whose latent components are unknown
+    (all-zero placeholders).
+    """
+    total = series.diffusion + series.inherent
+    if not np.any(total):
+        return float("nan")
+    return float(series.diffusion.sum() / total.sum())

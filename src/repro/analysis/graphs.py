@@ -1,0 +1,86 @@
+"""Inspection tools for learned graphs (adaptive and dynamic).
+
+Backs ``examples/dynamic_graph_demo.py``: compare what the dynamic graph
+learner produces at different times of day, and summarise learned adjacency
+structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.model import D2STGNN
+from ..data.datasets import ForecastingData
+from ..tensor import Tensor, no_grad
+
+__all__ = ["GraphStats", "graph_stats", "dynamic_graphs_at_hour", "adaptive_graph"]
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Summary statistics of a (possibly batched) transition matrix."""
+
+    mean_edge_retention: float  # dynamic weight / static weight on edges
+    row_entropy: float  # average entropy of outgoing distributions
+    total_mass: float  # average total weight
+
+
+def graph_stats(dynamic: np.ndarray, static: np.ndarray) -> GraphStats:
+    """Compare dynamic transition matrices against their static skeleton."""
+    mask = static > 0
+    if not mask.any():
+        raise ValueError("static transition matrix has no edges")
+    retention = dynamic[..., mask] / static[mask]
+    row_sums = dynamic.sum(axis=-1, keepdims=True)
+    normalised = dynamic / np.maximum(row_sums, 1e-9)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        plogp = np.where(normalised > 0, normalised * np.log(normalised), 0.0)
+    return GraphStats(
+        mean_edge_retention=float(retention.mean()),
+        row_entropy=float(-plogp.sum(axis=-1).mean()),
+        total_mass=float(dynamic.sum(axis=(-2, -1)).mean()),
+    )
+
+
+def dynamic_graphs_at_hour(
+    model: D2STGNN, data: ForecastingData, hour: int, count: int = 16
+) -> np.ndarray:
+    """Forward dynamic transitions for test windows ending near ``hour``.
+
+    Returns the learner's ``P_f^dy`` stacked over up to ``count`` windows;
+    raises if no test window ends within an hour of the requested time.
+    """
+    if not model.config.use_dynamic_graph:
+        raise ValueError("model was built without the dynamic graph learner")
+    subset = data.test
+    picked = []
+    for index in range(len(subset)):
+        batch = subset.gather(np.array([index]))
+        window_hour = batch.tod[0, -1] / data.steps_per_day * 24.0
+        if abs(window_hour - hour) < 1.0:
+            picked.append(index)
+        if len(picked) >= count:
+            break
+    if not picked:
+        raise RuntimeError(f"no test windows end near hour {hour}")
+    batch = subset.gather(np.array(picked))
+    model.eval()
+    with no_grad():
+        latent = model.input_projection(Tensor(batch.x))
+        t_day, t_week = model.embeddings.time_features(batch.tod, batch.dow)
+        p_f, _ = model.graph_learner(
+            latent, t_day, t_week,
+            model.embeddings.node_source, model.embeddings.node_target,
+            model.p_forward, model.p_backward,
+        )
+    return p_f.numpy()
+
+
+def adaptive_graph(model: D2STGNN) -> np.ndarray:
+    """The learned self-adaptive transition matrix ``P_apt`` (Eq. 7)."""
+    if not model.config.use_adaptive:
+        raise ValueError("model was built without the self-adaptive matrix")
+    with no_grad():
+        return model.embeddings.adaptive_transition().numpy()

@@ -1,0 +1,46 @@
+"""All baseline forecasters of the paper's Table 3 (plus Table 4 variants).
+
+Statistical baselines (``fit``/``__call__``): :class:`HistoricalAverage`,
+:class:`VAR`, :class:`SVR`.  Neural baselines (trained via
+:class:`~repro.training.Trainer`): :class:`FCLSTM`, :class:`DCRNN`,
+:class:`STGCN`, :class:`GraphWaveNet`, :class:`ASTGCN`, :class:`STSGCN`,
+:class:`GMAN`, :class:`MTGNN`, :class:`DGCRN`.
+"""
+
+from .astgcn import ASTGCN
+from .common import CausalConv, DirectHead, GatedTemporalConv, GraphConv, cheb_polynomials
+from .dcrnn import DCGRUCell, DCRNN
+from .dgcrn import DGCRN
+from .fc_lstm import FCLSTM
+from .gman import GMAN
+from .gwnet import GraphWaveNet
+from .historical_average import HistoricalAverage
+from .mtgnn import GraphLearningLayer, MixHopPropagation, MTGNN
+from .stgcn import STGCN
+from .stsgcn import STSGCN, build_localized_st_graph
+from .svr import SVR
+from .var import VAR
+
+__all__ = [
+    "ASTGCN",
+    "CausalConv",
+    "DCGRUCell",
+    "DCRNN",
+    "DGCRN",
+    "DirectHead",
+    "FCLSTM",
+    "GMAN",
+    "GatedTemporalConv",
+    "GraphConv",
+    "GraphLearningLayer",
+    "GraphWaveNet",
+    "HistoricalAverage",
+    "MTGNN",
+    "MixHopPropagation",
+    "STGCN",
+    "STSGCN",
+    "SVR",
+    "VAR",
+    "build_localized_st_graph",
+    "cheb_polynomials",
+]

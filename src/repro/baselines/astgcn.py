@@ -1,0 +1,99 @@
+"""ASTGCN baseline (Guo et al., AAAI 2019).
+
+Attention-based spatial-temporal GCN: a learned *temporal attention*
+reweights the history, a learned *spatial attention* modulates the Chebyshev
+graph convolution, and a temporal convolution follows.  This is the "lite"
+single-component variant (the recent-history component; the original's
+daily/weekly periodicity components need weeks of context that the scaled
+datasets intentionally do not provide).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .. import nn
+from ..graph.transition import symmetric_normalized_laplacian
+from ..tensor import Tensor, functional as F
+from .common import DirectHead, GatedTemporalConv, cheb_polynomials
+
+__all__ = ["ASTGCN"]
+
+
+class _AttentionScores(nn.Module):
+    """Bilinear attention over one axis of (B, T, N, d) features."""
+
+    def __init__(self, dim: int) -> None:
+        super().__init__()
+        self.w_q = nn.Linear(dim, dim, bias=False)
+        self.w_k = nn.Linear(dim, dim, bias=False)
+        self.dim = dim
+
+    def forward(self, features: Tensor) -> Tensor:
+        """``features``: (B, L, d) -> (B, L, L) row-stochastic scores."""
+        q = self.w_q(features)
+        k = self.w_k(features)
+        return F.softmax((q @ k.swapaxes(-1, -2)) * (1.0 / math.sqrt(self.dim)), axis=-1)
+
+
+class _ASTBlock(nn.Module):
+    def __init__(self, dim: int, polynomials: list[np.ndarray]) -> None:
+        super().__init__()
+        self.polynomials = polynomials
+        self.temporal_attention = _AttentionScores(dim)
+        self.spatial_attention = _AttentionScores(dim)
+        self.graph_projection = nn.Linear(len(polynomials) * dim, dim)
+        self.temporal_conv = GatedTemporalConv(dim, dim)
+        self.norm = nn.LayerNorm(dim)
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, steps, nodes, dim = x.shape
+        # Temporal attention: mix time steps, per-batch (node-averaged keys).
+        time_feat = x.mean(axis=2)  # (B, T, d)
+        t_scores = self.temporal_attention(time_feat)  # (B, T, T)
+        mixed = (
+            t_scores.expand_dims(1)
+            @ x.transpose(0, 2, 1, 3)  # (B, N, T, d)
+        ).transpose(0, 2, 1, 3)
+        # Spatial attention modulates the Chebyshev supports.
+        node_feat = mixed.mean(axis=1)  # (B, N, d)
+        s_scores = self.spatial_attention(node_feat)  # (B, N, N)
+        pieces = []
+        for polynomial in self.polynomials:
+            support = Tensor(polynomial).expand_dims(0) * s_scores  # (B, N, N)
+            pieces.append(support.expand_dims(1) @ mixed)
+        hidden = self.graph_projection(Tensor.concatenate(pieces, axis=-1)).relu()
+        hidden = self.temporal_conv(hidden)
+        return self.norm(hidden + x)
+
+
+class ASTGCN(nn.Module):
+    """Attention-based Spatial-Temporal GCN (recent component)."""
+
+    def __init__(
+        self,
+        adjacency: np.ndarray,
+        hidden_dim: int = 32,
+        horizon: int = 12,
+        num_blocks: int = 2,
+        cheb_order: int = 3,
+        in_channels: int = 1,
+        out_channels: int = 1,
+    ) -> None:
+        super().__init__()
+        polynomials = cheb_polynomials(symmetric_normalized_laplacian(adjacency), cheb_order)
+        self.input_projection = nn.Linear(in_channels, hidden_dim)
+        self.blocks = nn.ModuleList(
+            [_ASTBlock(hidden_dim, polynomials) for _ in range(num_blocks)]
+        )
+        self.head = DirectHead(hidden_dim, horizon, out_channels)
+
+    def forward(self, x: np.ndarray | Tensor, tod: np.ndarray, dow: np.ndarray) -> Tensor:
+        if not isinstance(x, Tensor):
+            x = Tensor(x)
+        hidden = self.input_projection(x)
+        for block in self.blocks:
+            hidden = block(hidden)
+        return self.head(hidden[:, hidden.shape[1] - 1])

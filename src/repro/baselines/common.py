@@ -1,0 +1,94 @@
+"""Shared building blocks for the baseline forecasters.
+
+Every neural baseline follows the library forecaster contract
+``model(x, tod, dow) -> Tensor (B, T_f, N, C)`` in scaled units, so one
+:class:`~repro.training.Trainer` drives them all.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..graph.transition import matrix_powers
+from ..nn.temporal import CausalConv, GatedTemporalConv
+from ..tensor import Tensor
+
+__all__ = [
+    "GraphConv",
+    "CausalConv",
+    "GatedTemporalConv",
+    "cheb_polynomials",
+    "DirectHead",
+]
+
+
+class GraphConv(nn.Module):
+    """Diffusion / mix-hop graph convolution over a set of supports.
+
+    Computes ``Σ_s Σ_{k=0..K} P_s^k X W_{s,k}`` where supports may be static
+    numpy matrices or learned Tensors (e.g. Graph WaveNet's adaptive
+    adjacency).  Order 0 is the identity (the node's own features).
+    """
+
+    def __init__(self, in_dim: int, out_dim: int, num_supports: int, order: int = 2) -> None:
+        super().__init__()
+        if order < 1:
+            raise ValueError("order must be >= 1")
+        self.order = order
+        self.num_supports = num_supports
+        total = 1 + num_supports * order  # identity + each support power
+        self.projection = nn.Linear(total * in_dim, out_dim)
+
+    def forward(self, x: Tensor, supports: list) -> Tensor:
+        """``x``: (..., N, d) with node axis second-to-last."""
+        if len(supports) != self.num_supports:
+            raise ValueError(f"expected {self.num_supports} supports, got {len(supports)}")
+        pieces = [x]
+        for support in supports:
+            if isinstance(support, np.ndarray):
+                for power in matrix_powers(support, self.order):
+                    pieces.append(Tensor(power) @ x)
+            else:
+                running = x
+                for _ in range(self.order):
+                    running = support @ running
+                    pieces.append(running)
+        return self.projection(Tensor.concatenate(pieces, axis=-1))
+
+
+def cheb_polynomials(laplacian: np.ndarray, order: int) -> list[np.ndarray]:
+    """Chebyshev polynomial supports ``[T_0, ..., T_{order-1}]`` (STGCN, ASTGCN).
+
+    The Laplacian is rescaled to [-1, 1] assuming ``λ_max ≈ 2`` (standard for
+    the symmetric normalized Laplacian).
+    """
+    if order < 1:
+        raise ValueError("order must be >= 1")
+    n = laplacian.shape[0]
+    scaled = (laplacian - np.eye(n, dtype=np.float32)).astype(np.float32)
+    polys = [np.eye(n, dtype=np.float32)]
+    if order > 1:
+        polys.append(scaled)
+    for _ in range(order - 2):
+        polys.append((2.0 * scaled @ polys[-1] - polys[-2]).astype(np.float32))
+    return polys
+
+
+class DirectHead(nn.Module):
+    """Map the features of the last time step to a full multi-step forecast.
+
+    Used by the baselines that decode all horizons at once (STGCN, Graph
+    WaveNet, MTGNN, GMAN-lite): (B, N, d) -> (B, T_f, N, C).
+    """
+
+    def __init__(self, hidden_dim: int, horizon: int, out_channels: int = 1) -> None:
+        super().__init__()
+        self.horizon = horizon
+        self.out_channels = out_channels
+        self.mlp = nn.MLP([hidden_dim, hidden_dim, horizon * out_channels])
+
+    def forward(self, last_hidden: Tensor) -> Tensor:
+        batch, nodes, _ = last_hidden.shape
+        out = self.mlp(last_hidden)  # (B, N, horizon*C)
+        return out.reshape(batch, nodes, self.horizon, self.out_channels).transpose(0, 2, 1, 3)

@@ -1,0 +1,98 @@
+"""DCRNN baseline (Li et al., ICLR 2018).
+
+Models traffic as a diffusion process: the matrix multiplications inside a
+GRU are replaced by diffusion convolutions over the forward/backward
+transition matrices (the DCGRU cell), wrapped in a sequence-to-sequence
+encoder-decoder.  The decoder is run without teacher forcing (inference
+mode), which the original paper anneals towards anyway.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..graph.transition import transition_pair
+from ..tensor import Tensor
+from ..utils.seed import get_rng
+from .common import GraphConv
+
+__all__ = ["DCGRUCell", "DCRNN"]
+
+
+class DCGRUCell(nn.Module):
+    """GRU cell whose gates are diffusion convolutions (DCRNN Sec. 2.2)."""
+
+    def __init__(self, in_dim: int, hidden_dim: int, num_supports: int, order: int = 2) -> None:
+        super().__init__()
+        self.hidden_dim = hidden_dim
+        self.gates = GraphConv(in_dim + hidden_dim, 2 * hidden_dim, num_supports, order)
+        self.candidate = GraphConv(in_dim + hidden_dim, hidden_dim, num_supports, order)
+
+    def forward(self, x: Tensor, h: Tensor, supports: list) -> Tensor:
+        """``x``: (B, N, in_dim); ``h``: (B, N, hidden)."""
+        combined = Tensor.concatenate([x, h], axis=-1)
+        gates = self.gates(combined, supports).sigmoid()
+        r = gates[..., : self.hidden_dim]
+        u = gates[..., self.hidden_dim :]
+        candidate = self.candidate(Tensor.concatenate([x, r * h], axis=-1), supports).tanh()
+        return u * h + (1.0 - u) * candidate
+
+
+class DCRNN(nn.Module):
+    """Diffusion Convolutional Recurrent Neural Network (seq2seq)."""
+
+    def __init__(
+        self,
+        adjacency: np.ndarray,
+        hidden_dim: int = 32,
+        horizon: int = 12,
+        order: int = 2,
+        in_channels: int = 1,
+        out_channels: int = 1,
+    ) -> None:
+        super().__init__()
+        self.horizon = horizon
+        self.out_channels = out_channels
+        p_f, p_b = transition_pair(adjacency)
+        self.supports = [p_f, p_b]
+        self.encoder = DCGRUCell(in_channels, hidden_dim, 2, order)
+        self.decoder = DCGRUCell(out_channels, hidden_dim, 2, order)
+        self.output = nn.Linear(hidden_dim, out_channels)
+
+    def forward(
+        self,
+        x: np.ndarray | Tensor,
+        tod: np.ndarray,
+        dow: np.ndarray,
+        targets: np.ndarray | None = None,
+        teacher_forcing: float = 0.0,
+    ) -> Tensor:
+        """Forecast; optionally decode with scheduled sampling.
+
+        During training the original DCRNN feeds the decoder the *ground
+        truth* of the previous step with a probability that decays over
+        training (scheduled sampling).  Pass ``targets`` (B, T_f, N, C) in
+        scaled units and a ``teacher_forcing`` probability to enable it;
+        inference leaves both unset.
+        """
+        if not isinstance(x, Tensor):
+            x = Tensor(x)
+        batch, steps, nodes, _ = x.shape
+        h = Tensor.zeros((batch, nodes, self.encoder.hidden_dim))
+        for t in range(steps):
+            h = self.encoder(x[:, t], h, self.supports)
+        outputs = []
+        current = Tensor.zeros((batch, nodes, self.out_channels))  # GO symbol
+        for step in range(self.horizon):
+            h = self.decoder(current, h, self.supports)
+            current = self.output(h)
+            outputs.append(current)
+            if (
+                targets is not None
+                and teacher_forcing > 0.0
+                and step + 1 < self.horizon
+                and get_rng().random() < teacher_forcing
+            ):
+                current = Tensor(np.asarray(targets)[:, step])
+        return Tensor.stack(outputs, axis=1)

@@ -1,0 +1,134 @@
+"""DGCRN baseline (Li et al. 2021) and its static-graph variant DGCRN†.
+
+Dynamic Graph Convolutional Recurrent Network: a DCRNN-style seq2seq model
+whose recurrent cell, at *every step*, regenerates a dynamic adjacency from
+the current input, the hidden state and static node embeddings (the
+hyper-network idea), and diffuses over both the static transitions and that
+dynamic graph.  Table 4's DGCRN† (``dynamic=False``) drops the dynamic
+graph, leaving a plain diffusion-convolutional GRU.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..graph.transition import transition_pair
+from ..tensor import Tensor, functional as F
+from ..utils.seed import get_rng
+from .common import GraphConv
+
+__all__ = ["DGCRN"]
+
+
+class _DynamicGraphGenerator(nn.Module):
+    """Produce a per-sample adjacency from (input, hidden, node embeddings)."""
+
+    def __init__(self, in_dim: int, hidden_dim: int, num_nodes: int, embed_dim: int) -> None:
+        super().__init__()
+        self.embed_source = nn.Parameter(nn.init.xavier_uniform(num_nodes, embed_dim))
+        self.embed_target = nn.Parameter(nn.init.xavier_uniform(num_nodes, embed_dim))
+        self.project_source = nn.Linear(in_dim + hidden_dim, embed_dim)
+        self.project_target = nn.Linear(in_dim + hidden_dim, embed_dim)
+
+    def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        state = Tensor.concatenate([x, h], axis=-1)  # (B, N, in+hidden)
+        r_source = (self.project_source(state) + self.embed_source).tanh()
+        r_target = (self.project_target(state) + self.embed_target).tanh()
+        scores = (r_source @ r_target.swapaxes(-1, -2)).relu()
+        return F.softmax(scores, axis=-1)  # (B, N, N)
+
+
+class _DGCRUCell(nn.Module):
+    def __init__(
+        self, in_dim: int, hidden_dim: int, num_supports: int, order: int = 2
+    ) -> None:
+        super().__init__()
+        self.hidden_dim = hidden_dim
+        self.gates = GraphConv(in_dim + hidden_dim, 2 * hidden_dim, num_supports, order)
+        self.candidate = GraphConv(in_dim + hidden_dim, hidden_dim, num_supports, order)
+
+    def forward(self, x: Tensor, h: Tensor, supports: list) -> Tensor:
+        combined = Tensor.concatenate([x, h], axis=-1)
+        gates = self.gates(combined, supports).sigmoid()
+        r = gates[..., : self.hidden_dim]
+        u = gates[..., self.hidden_dim :]
+        candidate = self.candidate(Tensor.concatenate([x, r * h], axis=-1), supports).tanh()
+        return u * h + (1.0 - u) * candidate
+
+
+class DGCRN(nn.Module):
+    """Dynamic Graph Convolutional Recurrent Network (lite seq2seq)."""
+
+    def __init__(
+        self,
+        adjacency: np.ndarray,
+        hidden_dim: int = 32,
+        horizon: int = 12,
+        order: int = 2,
+        embed_dim: int = 10,
+        dynamic: bool = True,
+        in_channels: int = 1,
+        out_channels: int = 1,
+    ) -> None:
+        super().__init__()
+        self.horizon = horizon
+        self.dynamic = dynamic
+        self.out_channels = out_channels
+        p_f, p_b = transition_pair(adjacency)
+        self.static_supports = [p_f, p_b]
+        num_supports = 2 + (1 if dynamic else 0)
+        num_nodes = adjacency.shape[0]
+        if dynamic:
+            self.generator = _DynamicGraphGenerator(
+                in_channels, hidden_dim, num_nodes, embed_dim
+            )
+            self.decoder_generator = _DynamicGraphGenerator(
+                out_channels, hidden_dim, num_nodes, embed_dim
+            )
+        self.encoder = _DGCRUCell(in_channels, hidden_dim, num_supports, order)
+        self.decoder = _DGCRUCell(out_channels, hidden_dim, num_supports, order)
+        self.output = nn.Linear(hidden_dim, out_channels)
+
+    def _supports(self, x: Tensor, h: Tensor, generator) -> list:
+        supports: list = list(self.static_supports)
+        if self.dynamic:
+            supports.append(generator(x, h))
+        return supports
+
+    def forward(
+        self,
+        x: np.ndarray | Tensor,
+        tod: np.ndarray,
+        dow: np.ndarray,
+        targets: np.ndarray | None = None,
+        teacher_forcing: float = 0.0,
+    ) -> Tensor:
+        """Forecast; supports DCRNN-style scheduled sampling (see DCRNN)."""
+        if not isinstance(x, Tensor):
+            x = Tensor(x)
+        batch, steps, nodes, _ = x.shape
+        h = Tensor.zeros((batch, nodes, self.encoder.hidden_dim))
+        for t in range(steps):
+            step_input = x[:, t]
+            supports = self._supports(
+                step_input, h, self.generator if self.dynamic else None
+            )
+            h = self.encoder(step_input, h, supports)
+        outputs = []
+        current = Tensor.zeros((batch, nodes, self.out_channels))
+        for step in range(self.horizon):
+            supports = self._supports(
+                current, h, self.decoder_generator if self.dynamic else None
+            )
+            h = self.decoder(current, h, supports)
+            current = self.output(h)
+            outputs.append(current)
+            if (
+                targets is not None
+                and teacher_forcing > 0.0
+                and step + 1 < self.horizon
+                and get_rng().random() < teacher_forcing
+            ):
+                current = Tensor(np.asarray(targets)[:, step])
+        return Tensor.stack(outputs, axis=1)

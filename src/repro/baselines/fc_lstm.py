@@ -1,0 +1,47 @@
+"""FC-LSTM baseline (Sutskever et al. 2014 applied to traffic, Sec. 6.1).
+
+An encoder LSTM reads each node's (univariate) history — nodes folded into
+the batch, as in the DCRNN paper's FC-LSTM setup — and an auto-regressive
+decoder LSTM emits the forecast.  No graph structure at all, which is why it
+trails the spatial models in Table 3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..tensor import Tensor
+
+__all__ = ["FCLSTM"]
+
+
+class FCLSTM(nn.Module):
+    """Sequence-to-sequence LSTM, graph-free."""
+
+    def __init__(
+        self, hidden_dim: int = 32, horizon: int = 12, in_channels: int = 1, out_channels: int = 1
+    ) -> None:
+        super().__init__()
+        self.horizon = horizon
+        self.out_channels = out_channels
+        self.encoder = nn.LSTM(in_channels, hidden_dim)
+        self.decoder_cell = nn.LSTMCell(out_channels, hidden_dim)
+        self.output = nn.Linear(hidden_dim, out_channels)
+
+    def forward(self, x: np.ndarray | Tensor, tod: np.ndarray, dow: np.ndarray) -> Tensor:
+        if not isinstance(x, Tensor):
+            x = Tensor(x)
+        batch, steps, nodes, channels = x.shape
+        folded = x.transpose(0, 2, 1, 3).reshape(batch * nodes, steps, channels)
+        _, (h, c) = self.encoder(folded)
+        outputs = []
+        current = Tensor.zeros((batch * nodes, self.out_channels))  # GO symbol
+        for _ in range(self.horizon):
+            h, c = self.decoder_cell(current, (h, c))
+            current = self.output(h)
+            outputs.append(current)
+        stacked = Tensor.stack(outputs, axis=1)  # (B*N, T_f, C)
+        return stacked.reshape(batch, nodes, self.horizon, self.out_channels).transpose(
+            0, 2, 1, 3
+        )

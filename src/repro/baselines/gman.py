@@ -1,0 +1,136 @@
+"""GMAN baseline (Zheng et al., AAAI 2020).
+
+Graph Multi-Attention Network: spatial attention (over nodes) and temporal
+attention (over steps) fused by a learned gate in each ST-attention block,
+conditioned on a spatial-temporal embedding (node embedding + time-slot
+embedding).  A final *transform attention* maps the encoded history onto
+future time-step queries, so all horizons decode in one shot — the property
+that gives GMAN its long-horizon edge in Table 3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..tensor import Tensor
+
+__all__ = ["GMAN"]
+
+
+class _STEmbedding(nn.Module):
+    """Fuse node and time embeddings into (B, T, N, d)."""
+
+    def __init__(self, num_nodes: int, steps_per_day: int, dim: int) -> None:
+        super().__init__()
+        self.node_embedding = nn.Parameter(nn.init.xavier_uniform(num_nodes, dim))
+        self.tod_embedding = nn.Embedding(steps_per_day, dim)
+        self.dow_embedding = nn.Embedding(7, dim)
+        self.fuse = nn.MLP([2 * dim, dim, dim])
+        self.steps_per_day = steps_per_day
+
+    def forward(self, tod: np.ndarray, dow: np.ndarray) -> Tensor:
+        time_embedding = self.tod_embedding(tod % self.steps_per_day) + self.dow_embedding(
+            dow % 7
+        )  # (B, T, d)
+        batch, steps, dim = time_embedding.shape
+        nodes = self.node_embedding.shape[0]
+        time_part = time_embedding.expand_dims(2).broadcast_to((batch, steps, nodes, dim))
+        node_part = (
+            self.node_embedding.expand_dims(0).expand_dims(0)
+            .broadcast_to((batch, steps, nodes, dim))
+        )
+        return self.fuse(Tensor.concatenate([time_part, node_part], axis=-1))
+
+
+class _STAttentionBlock(nn.Module):
+    def __init__(self, dim: int, num_heads: int) -> None:
+        super().__init__()
+        self.spatial = nn.MultiHeadSelfAttention(dim, num_heads)
+        self.temporal = nn.MultiHeadSelfAttention(dim, num_heads)
+        self.gate = nn.Linear(2 * dim, dim)
+        self.norm = nn.LayerNorm(dim)
+
+    def forward(self, x: Tensor, ste: Tensor) -> Tensor:
+        batch, steps, nodes, dim = x.shape
+        conditioned = x + ste
+        # Spatial attention: over nodes, independently per time step.
+        spatial_in = conditioned.reshape(batch * steps, nodes, dim)
+        h_spatial = self.spatial(spatial_in).reshape(batch, steps, nodes, dim)
+        # Temporal attention: over steps, independently per node.
+        temporal_in = conditioned.transpose(0, 2, 1, 3).reshape(batch * nodes, steps, dim)
+        h_temporal = (
+            self.temporal(temporal_in)
+            .reshape(batch, nodes, steps, dim)
+            .transpose(0, 2, 1, 3)
+        )
+        z = self.gate(Tensor.concatenate([h_spatial, h_temporal], axis=-1)).sigmoid()
+        return self.norm(x + z * h_spatial + (1.0 - z) * h_temporal)
+
+
+class GMAN(nn.Module):
+    """Graph Multi-Attention Network (lite: one encoder block each side)."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        steps_per_day: int,
+        hidden_dim: int = 32,
+        horizon: int = 12,
+        num_heads: int = 4,
+        num_blocks: int = 1,
+        in_channels: int = 1,
+        out_channels: int = 1,
+    ) -> None:
+        super().__init__()
+        self.horizon = horizon
+        self.steps_per_day = steps_per_day
+        self.ste = _STEmbedding(num_nodes, steps_per_day, hidden_dim)
+        self.input_projection = nn.Linear(in_channels, hidden_dim)
+        self.encoder = nn.ModuleList(
+            [_STAttentionBlock(hidden_dim, num_heads) for _ in range(num_blocks)]
+        )
+        self.decoder = nn.ModuleList(
+            [_STAttentionBlock(hidden_dim, num_heads) for _ in range(num_blocks)]
+        )
+        self.transform_query = nn.Linear(hidden_dim, hidden_dim, bias=False)
+        self.transform_key = nn.Linear(hidden_dim, hidden_dim, bias=False)
+        self.transform_value = nn.Linear(hidden_dim, hidden_dim, bias=False)
+        self.output = nn.MLP([hidden_dim, hidden_dim, out_channels])
+        self.out_channels = out_channels
+
+    def _future_indices(self, tod: np.ndarray, dow: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        steps = np.arange(1, self.horizon + 1)
+        raw = tod[:, -1][:, None] + steps[None, :]
+        future_tod = raw % self.steps_per_day
+        future_dow = (dow[:, -1][:, None] + raw // self.steps_per_day) % 7
+        return future_tod, future_dow
+
+    def forward(self, x: np.ndarray | Tensor, tod: np.ndarray, dow: np.ndarray) -> Tensor:
+        if not isinstance(x, Tensor):
+            x = Tensor(x)
+        batch, steps, nodes, _ = x.shape
+        hidden = self.input_projection(x)
+        ste_history = self.ste(tod, dow)
+        for block in self.encoder:
+            hidden = block(hidden, ste_history)
+
+        future_tod, future_dow = self._future_indices(tod, dow)
+        ste_future = self.ste(future_tod, future_dow)  # (B, T_f, N, d)
+
+        # Transform attention: future queries attend over encoded history,
+        # per node (GMAN Eq. 8) — cross-attention along the time axis.
+        import math
+
+        from ..tensor import functional as F
+
+        dim = hidden.shape[-1]
+        q = self.transform_query(ste_future).transpose(0, 2, 1, 3)  # (B, N, T_f, d)
+        k = self.transform_key(ste_history).transpose(0, 2, 1, 3)  # (B, N, T_h, d)
+        v = self.transform_value(hidden).transpose(0, 2, 1, 3)
+        scores = F.softmax((q @ k.swapaxes(-1, -2)) * (1.0 / math.sqrt(dim)), axis=-1)
+        decoded = (scores @ v).transpose(0, 2, 1, 3)  # (B, T_f, N, d)
+
+        for block in self.decoder:
+            decoded = block(decoded, ste_future)
+        return self.output(decoded)

@@ -1,0 +1,83 @@
+"""Graph WaveNet baseline (Wu et al., IJCAI 2019).
+
+Stacks gated dilated causal temporal convolutions with graph convolutions,
+plus a *self-adaptive adjacency matrix* learned from two node-embedding
+dictionaries — the idea D2STGNN borrows for its Eq. 7.  Residual and skip
+connections aggregate every layer's features before two output projections
+decode all horizons at once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..graph.transition import transition_pair
+from ..tensor import Tensor, functional as F
+from .common import DirectHead, GatedTemporalConv, GraphConv
+
+__all__ = ["GraphWaveNet"]
+
+
+class GraphWaveNet(nn.Module):
+    """Gated TCN + GCN stack with adaptive adjacency."""
+
+    def __init__(
+        self,
+        adjacency: np.ndarray,
+        hidden_dim: int = 32,
+        horizon: int = 12,
+        num_layers: int = 4,
+        embed_dim: int = 10,
+        adaptive: bool = True,
+        in_channels: int = 1,
+        out_channels: int = 1,
+    ) -> None:
+        super().__init__()
+        num_nodes = adjacency.shape[0]
+        self.horizon = horizon
+        self.adaptive = adaptive
+        p_f, p_b = transition_pair(adjacency)
+        self.static_supports = [p_f, p_b]
+        if adaptive:
+            self.embed_source = nn.Parameter(nn.init.xavier_uniform(num_nodes, embed_dim))
+            self.embed_target = nn.Parameter(nn.init.xavier_uniform(num_nodes, embed_dim))
+        num_supports = 2 + (1 if adaptive else 0)
+
+        self.input_projection = nn.Linear(in_channels, hidden_dim)
+        dilations = [2 ** (i % 3) for i in range(num_layers)]  # 1, 2, 4, 1, ...
+        self.temporal = nn.ModuleList(
+            [GatedTemporalConv(hidden_dim, hidden_dim, d) for d in dilations]
+        )
+        self.spatial = nn.ModuleList(
+            [GraphConv(hidden_dim, hidden_dim, num_supports, order=2) for _ in dilations]
+        )
+        self.skip_projections = nn.ModuleList(
+            [nn.Linear(hidden_dim, hidden_dim) for _ in dilations]
+        )
+        self.head = DirectHead(hidden_dim, horizon, out_channels)
+
+    def _supports(self) -> list:
+        supports: list = list(self.static_supports)
+        if self.adaptive:
+            scores = (self.embed_source @ self.embed_target.transpose()).relu()
+            supports.append(F.softmax(scores, axis=-1))
+        return supports
+
+    def forward(self, x: np.ndarray | Tensor, tod: np.ndarray, dow: np.ndarray) -> Tensor:
+        if not isinstance(x, Tensor):
+            x = Tensor(x)
+        hidden = self.input_projection(x)  # (B, T, N, d)
+        supports = self._supports()
+        skip = None
+        for temporal, spatial, skip_proj in zip(
+            self.temporal, self.spatial, self.skip_projections
+        ):
+            residual = hidden
+            hidden = temporal(hidden)
+            contribution = skip_proj(hidden)
+            skip = contribution if skip is None else skip + contribution
+            hidden = spatial(hidden, supports) + residual
+        features = skip.relu()
+        last = features[:, features.shape[1] - 1]  # (B, N, d)
+        return self.head(last)

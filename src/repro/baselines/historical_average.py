@@ -1,0 +1,63 @@
+"""Historical Average (HA) baseline.
+
+"Models traffic flows as a periodic process and uses weighted averages from
+previous periods as predictions for future periods" (Sec. 6.1).  We estimate
+a seasonal profile per (node, time-of-day slot, weekday/weekend) from the
+training portion and read predictions off the profile.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.datasets import ForecastingData
+from ..nn.module import Module
+from ..tensor import Tensor
+
+__all__ = ["HistoricalAverage"]
+
+
+class HistoricalAverage(Module):
+    """Seasonal-profile forecaster.  Call :meth:`fit` before predicting."""
+
+    def __init__(self, steps_per_day: int) -> None:
+        super().__init__()
+        self.steps_per_day = steps_per_day
+        self._profile: np.ndarray | None = None  # (2, steps_per_day, N)
+        self._scaler = None
+
+    def fit(self, data: ForecastingData) -> "HistoricalAverage":
+        series = data.dataset.series
+        (t0, t1) = data.train.start, data.train.stop + data.windows.history
+        values = series.values[t0:t1]  # (T, N)
+        tod = series.time_of_day[t0:t1]
+        dow = series.day_of_week[t0:t1]
+        num_nodes = values.shape[1]
+        profile = np.zeros((2, self.steps_per_day, num_nodes), dtype=np.float64)
+        counts = np.zeros((2, self.steps_per_day, num_nodes), dtype=np.float64)
+        weekend = (dow >= 5).astype(int)
+        observed = values != 0  # mask sensor outages out of the profile
+        np.add.at(profile, (weekend, tod), np.where(observed, values, 0.0))
+        np.add.at(counts, (weekend, tod), observed.astype(np.float64))
+        overall = values[observed].mean() if observed.any() else 0.0
+        with np.errstate(invalid="ignore"):
+            profile = np.where(counts > 0, profile / np.maximum(counts, 1.0), overall)
+        self._profile = profile.astype(np.float32)
+        self._scaler = data.scaler
+        return self
+
+    def forward(self, x: np.ndarray, tod: np.ndarray, dow: np.ndarray) -> Tensor:
+        """Predict (B, T_f, N, 1) in scaled units; T_f = history length."""
+        if self._profile is None:
+            raise RuntimeError("HistoricalAverage used before fit()")
+        horizon = x.shape[1]
+        last_tod = tod[:, -1]
+        last_dow = dow[:, -1]
+        steps = np.arange(1, horizon + 1)
+        future_tod = (last_tod[:, None] + steps[None, :]) % self.steps_per_day
+        rollover = (last_tod[:, None] + steps[None, :]) // self.steps_per_day
+        future_dow = (last_dow[:, None] + rollover) % 7
+        weekend = (future_dow >= 5).astype(int)
+        prediction = self._profile[weekend, future_tod]  # (B, T_f, N)
+        scaled = self._scaler.transform(prediction)[..., None]
+        return Tensor(scaled)

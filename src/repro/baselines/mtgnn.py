@@ -1,0 +1,125 @@
+"""MTGNN baseline (Wu et al., KDD 2020).
+
+Extends Graph WaveNet with (i) a *uni-directional graph learning layer*
+``A = relu(tanh(α(M1 M2^T − M2 M1^T)))`` built from two node-embedding
+projections, (ii) *mix-hop propagation* in the spatial module (hop features
+are retained and concatenated instead of collapsed), and (iii) a *dilated
+inception* temporal module (parallel causal convolutions with different
+kernel dilations, concatenated).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..tensor import Tensor
+from .common import CausalConv, DirectHead
+
+__all__ = ["MTGNN", "GraphLearningLayer", "MixHopPropagation"]
+
+
+class GraphLearningLayer(nn.Module):
+    """Learn a sparse directed adjacency from node embeddings (MTGNN Eq. 2-5)."""
+
+    def __init__(self, num_nodes: int, embed_dim: int, alpha: float = 3.0) -> None:
+        super().__init__()
+        self.alpha = alpha
+        self.embed1 = nn.Parameter(nn.init.xavier_uniform(num_nodes, embed_dim))
+        self.embed2 = nn.Parameter(nn.init.xavier_uniform(num_nodes, embed_dim))
+        self.theta1 = nn.Linear(embed_dim, embed_dim, bias=False)
+        self.theta2 = nn.Linear(embed_dim, embed_dim, bias=False)
+
+    def forward(self) -> Tensor:
+        m1 = (self.theta1(self.embed1) * self.alpha).tanh()
+        m2 = (self.theta2(self.embed2) * self.alpha).tanh()
+        scores = m1 @ m2.transpose() - m2 @ m1.transpose()
+        adjacency = (scores * self.alpha).tanh().relu()
+        # Row-normalise so propagation is a weighted average.
+        rowsum = adjacency.sum(axis=-1, keepdims=True) + 1e-6
+        return adjacency / rowsum
+
+
+class MixHopPropagation(nn.Module):
+    """``H_out = Σ_k H^(k) W_k`` with ``H^(k+1) = β H_in + (1−β) Ã H^(k)``."""
+
+    def __init__(self, dim: int, depth: int = 2, beta: float = 0.05) -> None:
+        super().__init__()
+        self.depth = depth
+        self.beta = beta
+        self.projection = nn.Linear((depth + 1) * dim, dim)
+
+    def forward(self, x: Tensor, adjacency: Tensor) -> Tensor:
+        hops = [x]
+        hidden = x
+        for _ in range(self.depth):
+            hidden = self.beta * x + (1.0 - self.beta) * (adjacency @ hidden)
+            hops.append(hidden)
+        return self.projection(Tensor.concatenate(hops, axis=-1))
+
+
+class _DilatedInception(nn.Module):
+    """Parallel gated causal convolutions with different dilations."""
+
+    def __init__(self, dim: int, dilations: tuple[int, ...] = (1, 2)) -> None:
+        super().__init__()
+        if dim % len(dilations) != 0:
+            raise ValueError("dim must divide evenly over the inception branches")
+        branch_dim = dim // len(dilations)
+        self.filters = nn.ModuleList([CausalConv(dim, branch_dim, d) for d in dilations])
+        self.gates = nn.ModuleList([CausalConv(dim, branch_dim, d) for d in dilations])
+
+    def forward(self, x: Tensor) -> Tensor:
+        branches = [
+            f(x).tanh() * g(x).sigmoid() for f, g in zip(self.filters, self.gates)
+        ]
+        return Tensor.concatenate(branches, axis=-1)
+
+
+class MTGNN(nn.Module):
+    """Multivariate Time-series GNN."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        hidden_dim: int = 32,
+        horizon: int = 12,
+        num_layers: int = 3,
+        embed_dim: int = 10,
+        mixhop_depth: int = 2,
+        in_channels: int = 1,
+        out_channels: int = 1,
+    ) -> None:
+        super().__init__()
+        self.graph_learner = GraphLearningLayer(num_nodes, embed_dim)
+        self.input_projection = nn.Linear(in_channels, hidden_dim)
+        self.temporal = nn.ModuleList(
+            [_DilatedInception(hidden_dim) for _ in range(num_layers)]
+        )
+        self.spatial_fwd = nn.ModuleList(
+            [MixHopPropagation(hidden_dim, mixhop_depth) for _ in range(num_layers)]
+        )
+        self.spatial_bwd = nn.ModuleList(
+            [MixHopPropagation(hidden_dim, mixhop_depth) for _ in range(num_layers)]
+        )
+        self.skip_projections = nn.ModuleList(
+            [nn.Linear(hidden_dim, hidden_dim) for _ in range(num_layers)]
+        )
+        self.head = DirectHead(hidden_dim, horizon, out_channels)
+
+    def forward(self, x: np.ndarray | Tensor, tod: np.ndarray, dow: np.ndarray) -> Tensor:
+        if not isinstance(x, Tensor):
+            x = Tensor(x)
+        adjacency = self.graph_learner()
+        hidden = self.input_projection(x)
+        skip = None
+        for temporal, fwd, bwd, skip_proj in zip(
+            self.temporal, self.spatial_fwd, self.spatial_bwd, self.skip_projections
+        ):
+            residual = hidden
+            hidden = temporal(hidden)
+            contribution = skip_proj(hidden)
+            skip = contribution if skip is None else skip + contribution
+            hidden = fwd(hidden, adjacency) + bwd(hidden, adjacency.transpose()) + residual
+        features = skip.relu()
+        return self.head(features[:, features.shape[1] - 1])

@@ -1,0 +1,75 @@
+"""STGCN baseline (Yu et al., IJCAI 2018).
+
+Two ST-Conv blocks, each a temporal-gated-convolution / Chebyshev-graph-
+convolution / temporal-gated-convolution sandwich, followed by a direct
+multi-step output head.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..graph.transition import symmetric_normalized_laplacian
+from ..tensor import Tensor
+from .common import DirectHead, GatedTemporalConv, cheb_polynomials
+
+__all__ = ["STGCN"]
+
+
+class _ChebGraphConv(nn.Module):
+    """Chebyshev GCN: ``Σ_k T_k(L̃) X W_k`` (precomputed polynomial supports)."""
+
+    def __init__(self, in_dim: int, out_dim: int, polynomials: list[np.ndarray]) -> None:
+        super().__init__()
+        self.polynomials = polynomials
+        self.projection = nn.Linear(len(polynomials) * in_dim, out_dim)
+
+    def forward(self, x: Tensor) -> Tensor:
+        pieces = [Tensor(p) @ x for p in self.polynomials]
+        return self.projection(Tensor.concatenate(pieces, axis=-1))
+
+
+class _STConvBlock(nn.Module):
+    def __init__(self, dim: int, polynomials: list[np.ndarray]) -> None:
+        super().__init__()
+        self.temporal_in = GatedTemporalConv(dim, dim)
+        self.graph = _ChebGraphConv(dim, dim, polynomials)
+        self.temporal_out = GatedTemporalConv(dim, dim)
+        self.norm = nn.LayerNorm(dim)
+
+    def forward(self, x: Tensor) -> Tensor:
+        hidden = self.temporal_in(x)
+        hidden = self.graph(hidden).relu()
+        hidden = self.temporal_out(hidden)
+        return self.norm(hidden + x)
+
+
+class STGCN(nn.Module):
+    """Spatio-Temporal Graph Convolutional Network."""
+
+    def __init__(
+        self,
+        adjacency: np.ndarray,
+        hidden_dim: int = 32,
+        horizon: int = 12,
+        num_blocks: int = 2,
+        cheb_order: int = 3,
+        in_channels: int = 1,
+        out_channels: int = 1,
+    ) -> None:
+        super().__init__()
+        polynomials = cheb_polynomials(symmetric_normalized_laplacian(adjacency), cheb_order)
+        self.input_projection = nn.Linear(in_channels, hidden_dim)
+        self.blocks = nn.ModuleList(
+            [_STConvBlock(hidden_dim, polynomials) for _ in range(num_blocks)]
+        )
+        self.head = DirectHead(hidden_dim, horizon, out_channels)
+
+    def forward(self, x: np.ndarray | Tensor, tod: np.ndarray, dow: np.ndarray) -> Tensor:
+        if not isinstance(x, Tensor):
+            x = Tensor(x)
+        hidden = self.input_projection(x)
+        for block in self.blocks:
+            hidden = block(hidden)
+        return self.head(hidden[:, hidden.shape[1] - 1])

@@ -1,0 +1,98 @@
+"""STSGCN baseline (Song et al., AAAI 2020).
+
+Spatial-Temporal *Synchronous* GCN: consecutive time steps are joined into a
+localized spatial-temporal graph of ``window · N`` nodes (block-diagonal
+copies of the spatial adjacency, plus identity links between a node and its
+own copies at adjacent steps), and an ordinary GCN on that graph captures
+spatial and temporal correlations *synchronously*.  Sliding the window over
+the history and cropping the middle copy yields the next layer's sequence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..graph.transition import forward_transition
+from ..tensor import Tensor
+from .common import DirectHead
+
+__all__ = ["STSGCN", "build_localized_st_graph"]
+
+
+def build_localized_st_graph(adjacency: np.ndarray, window: int = 3) -> np.ndarray:
+    """The (window·N, window·N) localized ST adjacency of STSGCN Fig. 2."""
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    n = adjacency.shape[0]
+    eye = np.eye(n, dtype=np.float32)
+    blocks = np.zeros((window * n, window * n), dtype=np.float32)
+    for i in range(window):
+        blocks[i * n : (i + 1) * n, i * n : (i + 1) * n] = adjacency
+        if i + 1 < window:  # temporal links between consecutive copies
+            blocks[i * n : (i + 1) * n, (i + 1) * n : (i + 2) * n] = eye
+            blocks[(i + 1) * n : (i + 2) * n, i * n : (i + 1) * n] = eye
+    return blocks
+
+
+class _SynchronousLayer(nn.Module):
+    def __init__(self, dim: int, transition: np.ndarray, window: int, num_nodes: int) -> None:
+        super().__init__()
+        self.window = window
+        self.num_nodes = num_nodes
+        self.transition = transition  # (w*N, w*N) row-normalised
+        self.gcn1 = nn.Linear(dim, dim)
+        self.gcn2 = nn.Linear(dim, dim)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """(B, T, N, d) -> (B, T - window + 1, N, d)."""
+        batch, steps, nodes, dim = x.shape
+        outputs = []
+        p = Tensor(self.transition)
+        for start in range(steps - self.window + 1):
+            chunk = x[:, start : start + self.window]  # (B, w, N, d)
+            flat = chunk.reshape(batch, self.window * nodes, dim)
+            hidden = self.gcn1(p @ flat).relu()
+            hidden = self.gcn2(p @ hidden).relu()
+            middle = self.window // 2
+            outputs.append(
+                hidden[:, middle * nodes : (middle + 1) * nodes]  # crop centre copy
+            )
+        return Tensor.stack(outputs, axis=1)
+
+
+class STSGCN(nn.Module):
+    """Spatial-Temporal Synchronous Graph Convolutional Network (lite)."""
+
+    def __init__(
+        self,
+        adjacency: np.ndarray,
+        hidden_dim: int = 32,
+        horizon: int = 12,
+        num_layers: int = 2,
+        window: int = 3,
+        in_channels: int = 1,
+        out_channels: int = 1,
+    ) -> None:
+        super().__init__()
+        num_nodes = adjacency.shape[0]
+        localized = build_localized_st_graph(adjacency, window)
+        transition = forward_transition(localized + np.eye(window * num_nodes, dtype=np.float32))
+        self.input_projection = nn.Linear(in_channels, hidden_dim)
+        self.layers = nn.ModuleList(
+            [
+                _SynchronousLayer(hidden_dim, transition, window, num_nodes)
+                for _ in range(num_layers)
+            ]
+        )
+        self.head = DirectHead(hidden_dim, horizon, out_channels)
+
+    def forward(self, x: np.ndarray | Tensor, tod: np.ndarray, dow: np.ndarray) -> Tensor:
+        if not isinstance(x, Tensor):
+            x = Tensor(x)
+        hidden = self.input_projection(x)
+        for layer in self.layers:
+            if hidden.shape[1] < layer.window:
+                break  # history exhausted by the shrinking windows
+            hidden = layer(hidden)
+        return self.head(hidden[:, hidden.shape[1] - 1])

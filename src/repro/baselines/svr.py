@@ -1,0 +1,82 @@
+"""Linear Support Vector Regression (SVR) baseline.
+
+"Uses linear support vector machine for classical time series regression"
+(Sec. 6.1).  One linear ε-insensitive model per forecast step maps a node's
+last ``T_h`` (scaled) observations to that step; the models are pooled
+across nodes, matching the per-sensor univariate treatment of the paper's
+SVR baseline.  Trained by subgradient descent on the primal objective —
+exact dual solvers add nothing at this scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.datasets import ForecastingData
+from ..nn.module import Module
+from ..tensor import Tensor
+
+__all__ = ["SVR"]
+
+
+class SVR(Module):
+    """Pooled univariate linear ε-SVR, one regressor per horizon step."""
+
+    def __init__(
+        self,
+        epsilon: float = 0.1,
+        regularization: float = 1e-4,
+        learning_rate: float = 0.05,
+        epochs: int = 40,
+        max_samples: int = 20000,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        self.epsilon = epsilon
+        self.regularization = regularization
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.max_samples = max_samples
+        self.seed = seed
+        self._weights: np.ndarray | None = None  # (T_h + 1, T_f)
+
+    def fit(self, data: ForecastingData) -> "SVR":
+        history = data.windows.history
+        horizon = data.windows.horizon
+        rng = np.random.default_rng(self.seed)
+
+        # Build pooled (lags -> future) training pairs from the train split.
+        batch = data.train.gather(data.train.all_indices())
+        x = batch.x[..., 0]  # (B, T_h, N)
+        y = data.scaler.transform(batch.y[..., 0])  # supervise in scaled units
+        features = x.transpose(0, 2, 1).reshape(-1, history)
+        targets = y.transpose(0, 2, 1).reshape(-1, horizon)
+        if features.shape[0] > self.max_samples:
+            keep = rng.choice(features.shape[0], self.max_samples, replace=False)
+            features, targets = features[keep], targets[keep]
+        design = np.concatenate([features, np.ones((features.shape[0], 1))], axis=1)
+
+        weights = np.zeros((history + 1, horizon), dtype=np.float64)
+        n = design.shape[0]
+        for epoch in range(self.epochs):
+            lr = self.learning_rate / (1.0 + 0.1 * epoch)
+            residual = design @ weights - targets  # (n, T_f)
+            # ε-insensitive subgradient: sign outside the tube, 0 inside.
+            outside = np.abs(residual) > self.epsilon
+            sub = np.sign(residual) * outside
+            grad = design.T @ sub / n + self.regularization * weights
+            weights -= lr * grad
+        self._weights = weights
+        return self
+
+    def forward(self, x: np.ndarray, tod: np.ndarray, dow: np.ndarray) -> Tensor:
+        if self._weights is None:
+            raise RuntimeError("SVR used before fit()")
+        history = np.asarray(x)[..., 0]  # (B, T_h, N)
+        batch, window, num_nodes = history.shape
+        features = history.transpose(0, 2, 1).reshape(-1, window)
+        design = np.concatenate([features, np.ones((features.shape[0], 1))], axis=1)
+        prediction = design @ self._weights  # (B*N, T_f)
+        horizon = prediction.shape[1]
+        out = prediction.reshape(batch, num_nodes, horizon).transpose(0, 2, 1)
+        return Tensor(out[..., None].astype(np.float32))

@@ -1,0 +1,224 @@
+"""Command-line interface.
+
+    python -m repro list                      # available models and datasets
+    python -m repro simulate --dataset metr-la-sim --out data.npz
+    python -m repro train --dataset metr-la-sim --model D2STGNN --epochs 4 \
+                          --checkpoint model.npz
+    python -m repro evaluate --checkpoint model.npz --dataset metr-la-sim
+
+Everything the CLI does is a thin layer over the public API; see
+examples/ for the same flows in code.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .baselines import (
+    ASTGCN,
+    DCRNN,
+    DGCRN,
+    FCLSTM,
+    GMAN,
+    MTGNN,
+    STGCN,
+    STSGCN,
+    SVR,
+    VAR,
+    GraphWaveNet,
+    HistoricalAverage,
+)
+from .core import D2STGNN, D2STGNNConfig
+from .data import PRESETS, build_forecasting_data, load_dataset
+from .data.io import load_dataset_file, save_dataset
+from .training import Trainer, TrainerConfig, format_horizon_report
+from .utils.checkpoint import load_checkpoint, save_checkpoint
+from .utils.seed import set_seed
+
+MODEL_NAMES = (
+    "HA", "VAR", "SVR", "FC-LSTM", "DCRNN", "STGCN", "GraphWaveNet",
+    "ASTGCN", "STSGCN", "GMAN", "MTGNN", "DGCRN", "D2STGNN",
+)
+STATISTICAL = ("HA", "VAR", "SVR")
+
+
+def _get_data(args):
+    if args.dataset.endswith(".npz"):
+        dataset = load_dataset_file(args.dataset)
+    else:
+        dataset = load_dataset(
+            args.dataset,
+            num_nodes=getattr(args, "nodes", None),
+            num_steps=getattr(args, "steps", None),
+        )
+    return build_forecasting_data(dataset)
+
+
+def _build_model(name: str, data, hidden: int, layers: int):
+    dataset = data.dataset
+    adjacency = data.adjacency
+    config_extra = {"hidden_dim": hidden, "num_layers": layers}
+    if name == "D2STGNN":
+        config = D2STGNNConfig(
+            num_nodes=dataset.num_nodes, steps_per_day=dataset.steps_per_day,
+            hidden_dim=hidden, embed_dim=max(4, hidden // 2),
+            num_layers=layers, num_heads=2,
+        )
+        return D2STGNN(config, adjacency), config
+    builders = {
+        "HA": lambda: HistoricalAverage(dataset.steps_per_day),
+        "VAR": lambda: VAR(lags=3),
+        "SVR": lambda: SVR(epochs=30),
+        "FC-LSTM": lambda: FCLSTM(hidden_dim=hidden),
+        "DCRNN": lambda: DCRNN(adjacency, hidden_dim=hidden),
+        "STGCN": lambda: STGCN(adjacency, hidden_dim=hidden),
+        "GraphWaveNet": lambda: GraphWaveNet(adjacency, hidden_dim=hidden),
+        "ASTGCN": lambda: ASTGCN(adjacency, hidden_dim=hidden),
+        "STSGCN": lambda: STSGCN(adjacency, hidden_dim=hidden),
+        "GMAN": lambda: GMAN(dataset.num_nodes, dataset.steps_per_day, hidden_dim=hidden, num_heads=2),
+        "MTGNN": lambda: MTGNN(dataset.num_nodes, hidden_dim=hidden),
+        "DGCRN": lambda: DGCRN(adjacency, hidden_dim=hidden),
+    }
+    if name not in builders:
+        raise SystemExit(f"unknown model {name!r}; choose from {MODEL_NAMES}")
+    return builders[name](), config_extra
+
+
+def cmd_experiments(args) -> int:
+    """``repro experiments``: print the paper's experiment index."""
+    from .experiments import EXPERIMENTS
+
+    for spec in EXPERIMENTS.values():
+        print(f"{spec.experiment_id:<16} {spec.paper_artifact:<22} {spec.description}")
+        print(f"{'':<16} bench: {spec.bench}")
+        print(f"{'':<16} shape: {spec.asserted_shape}")
+    return 0
+
+
+def cmd_list(args) -> int:
+    """``repro list``: print models and dataset presets."""
+    print("models:")
+    for name in MODEL_NAMES:
+        kind = "statistical" if name in STATISTICAL else "neural"
+        print(f"  {name:<14} ({kind})")
+    print("dataset presets:")
+    for name, spec in PRESETS.items():
+        print(
+            f"  {name:<14} {spec.kind:<6} default {spec.num_nodes} nodes x "
+            f"{spec.num_steps} steps (paper: {spec.reference_nodes} nodes)"
+        )
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    """``repro simulate``: generate a dataset preset and write it to .npz."""
+    dataset = load_dataset(args.dataset, num_nodes=args.nodes, num_steps=args.steps)
+    path = save_dataset(args.out, dataset)
+    print(
+        f"wrote {dataset.spec.name}: {dataset.num_nodes} nodes, "
+        f"{dataset.num_steps} steps, {dataset.num_edges} edges -> {path}"
+    )
+    return 0
+
+
+def cmd_train(args) -> int:
+    """``repro train``: fit a forecaster, report metrics, save a checkpoint."""
+    set_seed(args.seed)
+    data = _get_data(args)
+    model, config = _build_model(args.model, data, args.hidden, args.layers)
+    if args.model in STATISTICAL:
+        model.fit(data)
+        print(f"fit {args.model} (no gradient training needed)")
+    else:
+        print(f"training {args.model} ({model.num_parameters():,} parameters)")
+        trainer = Trainer(
+            model, data,
+            TrainerConfig(epochs=args.epochs, batch_size=args.batch_size, verbose=True, seed=args.seed),
+        )
+        trainer.train()
+    trainer = Trainer(model, data) if args.model not in STATISTICAL else None
+    from .training import evaluate_horizons, predict_split
+
+    prediction, target = predict_split(model, data, split="test")
+    print()
+    print(format_horizon_report(args.model, evaluate_horizons(prediction, target)))
+    if args.checkpoint and args.model not in STATISTICAL:
+        path = save_checkpoint(
+            args.checkpoint, model, config,
+            extra={"model": args.model, "dataset": args.dataset},
+        )
+        print(f"\ncheckpoint -> {path}")
+    elif args.checkpoint:
+        print("\n(statistical models carry no parameters; checkpoint skipped)")
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    """``repro evaluate``: evaluate a saved checkpoint on a dataset split."""
+    data = _get_data(args)
+    info = load_checkpoint(args.checkpoint)
+    name = info["meta"]["extra"].get("model", info["meta"]["model_class"])
+    config = info["meta"]["config"] or {}
+    hidden = config.get("hidden_dim", 32)
+    layers = config.get("num_layers", 2)
+    model, _ = _build_model("D2STGNN" if name == "D2STGNN" else name, data, hidden, layers)
+    load_checkpoint(args.checkpoint, model)
+    from .training import evaluate_horizons, predict_split
+
+    prediction, target = predict_split(model, data, split=args.split)
+    print(format_horizon_report(f"{name} ({args.split})", evaluate_horizons(prediction, target)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the ``repro`` CLI."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list models and dataset presets").set_defaults(fn=cmd_list)
+    sub.add_parser(
+        "experiments", help="list the paper's experiments and their benches"
+    ).set_defaults(fn=cmd_experiments)
+
+    p = sub.add_parser("simulate", help="generate a dataset and save it to .npz")
+    p.add_argument("--dataset", default="metr-la-sim", choices=sorted(PRESETS))
+    p.add_argument("--nodes", type=int, default=None)
+    p.add_argument("--steps", type=int, default=None)
+    p.add_argument("--out", required=True)
+    p.set_defaults(fn=cmd_simulate)
+
+    p = sub.add_parser("train", help="train a forecaster")
+    p.add_argument("--dataset", default="metr-la-sim",
+                   help="preset name or a .npz written by `repro simulate`")
+    p.add_argument("--model", default="D2STGNN", choices=MODEL_NAMES)
+    p.add_argument("--epochs", type=int, default=5)
+    p.add_argument("--batch-size", type=int, default=32)
+    p.add_argument("--hidden", type=int, default=16)
+    p.add_argument("--layers", type=int, default=2)
+    p.add_argument("--nodes", type=int, default=None)
+    p.add_argument("--steps", type=int, default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--checkpoint", default=None, help="where to save the trained model")
+    p.set_defaults(fn=cmd_train)
+
+    p = sub.add_parser("evaluate", help="evaluate a saved checkpoint")
+    p.add_argument("--checkpoint", required=True)
+    p.add_argument("--dataset", default="metr-la-sim")
+    p.add_argument("--split", default="test", choices=("train", "val", "test"))
+    p.add_argument("--nodes", type=int, default=None)
+    p.add_argument("--steps", type=int, default=None)
+    p.set_defaults(fn=cmd_evaluate)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""D2STGNN and the Decoupled Spatial-Temporal Framework (the paper's contribution)."""
+
+from .alternative_blocks import (
+    AttentionDiffusionBlock,
+    DSTFModel,
+    TCNInherentBlock,
+    build_dstf_model,
+)
+from .decouple import CoupledLayer, DecoupledLayer
+from .diffusion_block import DiffusionBlock
+from .dynamic_graph import DynamicGraphLearner
+from .embeddings import SpatialTemporalEmbeddings
+from .gate import EstimationGate
+from .inherent_block import InherentBlock
+from .model import D2STGNN, D2STGNNConfig
+
+__all__ = [
+    "AttentionDiffusionBlock",
+    "CoupledLayer",
+    "DSTFModel",
+    "TCNInherentBlock",
+    "build_dstf_model",
+    "D2STGNN",
+    "D2STGNNConfig",
+    "DecoupledLayer",
+    "DiffusionBlock",
+    "DynamicGraphLearner",
+    "EstimationGate",
+    "InherentBlock",
+    "SpatialTemporalEmbeddings",
+]

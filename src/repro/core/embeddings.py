@@ -1,0 +1,48 @@
+"""Shared embedding tables of D2STGNN (Sec. 4.2).
+
+Four learnable tables are shared across the estimation gates, the
+self-adaptive transition matrix and the dynamic graph learner:
+
+* ``T^D``: one vector per time-of-day slot (``steps_per_day`` slots);
+* ``T^W``: one vector per day of the week (7 slots);
+* ``E^u``: source-node embeddings (used when a node *emits* messages);
+* ``E^d``: target-node embeddings (used when a node *aggregates*).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..tensor import Tensor
+
+__all__ = ["SpatialTemporalEmbeddings"]
+
+
+class SpatialTemporalEmbeddings(nn.Module):
+    """Container for the four embedding tables, randomly initialised."""
+
+    def __init__(self, num_nodes: int, steps_per_day: int, dim: int) -> None:
+        super().__init__()
+        self.num_nodes = num_nodes
+        self.steps_per_day = steps_per_day
+        self.dim = dim
+        self.time_of_day = nn.Embedding(steps_per_day, dim)
+        self.day_of_week = nn.Embedding(7, dim)
+        self.node_source = nn.Parameter(nn.init.xavier_uniform(num_nodes, dim))
+        self.node_target = nn.Parameter(nn.init.xavier_uniform(num_nodes, dim))
+
+    def time_features(self, tod: np.ndarray, dow: np.ndarray) -> tuple[Tensor, Tensor]:
+        """Look up (B, T, dim) embeddings for integer index arrays (B, T)."""
+        return self.time_of_day(tod % self.steps_per_day), self.day_of_week(dow % 7)
+
+    def adaptive_transition(self) -> Tensor:
+        """Self-adaptive transition matrix ``P_apt`` (paper Eq. 7).
+
+        ``softmax(relu(E^d (E^u)^T))`` — row-normalised, so it plays the same
+        role as the road-network transitions it supplements.
+        """
+        from ..tensor import functional as F
+
+        scores = (self.node_target @ self.node_source.transpose()).relu()
+        return F.softmax(scores, axis=-1)

@@ -1,0 +1,65 @@
+"""Estimation gate (paper Eq. 3).
+
+The gate estimates, per (time step, node), the fraction ``Λ ∈ (0, 1)`` of the
+layer input that is diffusion signal, from the time-slot and node embeddings:
+
+    Λ_{t,i} = Sigmoid( σ( (T^D_t || T^W_t || E^u_i || E^d_i) W_1 ) W_2 )
+    X^dif   = Λ ⊙ X^l
+
+Its job is to unburden the first model of each layer, which otherwise sees
+the full coupled signal but must learn only its own part (Sec. 4.2).
+"""
+
+from __future__ import annotations
+
+from .. import nn
+from ..tensor import Tensor
+
+__all__ = ["EstimationGate"]
+
+
+class EstimationGate(nn.Module):
+    """Learned soft split of a layer input into its diffusion share."""
+
+    def __init__(self, embed_dim: int, hidden_dim: int) -> None:
+        super().__init__()
+        self.fc1 = nn.Linear(4 * embed_dim, hidden_dim)
+        self.fc2 = nn.Linear(hidden_dim, 1)
+
+    def gate_values(
+        self,
+        t_day: Tensor,
+        t_week: Tensor,
+        node_source: Tensor,
+        node_target: Tensor,
+    ) -> Tensor:
+        """Return Λ with shape (B, T, N, 1).
+
+        ``t_day``/``t_week``: (B, T, d) time-slot embeddings;
+        ``node_source``/``node_target``: (N, d) node embeddings.
+        The four are broadcast-concatenated over the missing axes
+        (``Concat(·)`` in the paper's notation).
+        """
+        batch, steps, _ = t_day.shape
+        num_nodes = node_source.shape[0]
+        t_day = t_day.expand_dims(2).broadcast_to((batch, steps, num_nodes, t_day.shape[-1]))
+        t_week = t_week.expand_dims(2).broadcast_to((batch, steps, num_nodes, t_week.shape[-1]))
+        e_u = node_source.expand_dims(0).expand_dims(0).broadcast_to(
+            (batch, steps, num_nodes, node_source.shape[-1])
+        )
+        e_d = node_target.expand_dims(0).expand_dims(0).broadcast_to(
+            (batch, steps, num_nodes, node_target.shape[-1])
+        )
+        features = Tensor.concatenate([t_day, t_week, e_u, e_d], axis=-1)
+        return self.fc2(self.fc1(features).relu()).sigmoid()
+
+    def forward(
+        self,
+        x: Tensor,
+        t_day: Tensor,
+        t_week: Tensor,
+        node_source: Tensor,
+        node_target: Tensor,
+    ) -> Tensor:
+        """Return ``X^dif = Λ ⊙ X`` for input (B, T, N, d)."""
+        return self.gate_values(t_day, t_week, node_source, node_target) * x

@@ -1,0 +1,226 @@
+"""D2STGNN — the full model (Sec. 5, Fig. 3, Algorithm 1).
+
+Stacks ``num_layers`` decoupled spatial-temporal layers over a latent
+projection of the traffic signal, sums the forecast hidden states of every
+block at every layer (Eq. 15), and regresses the final prediction through a
+two-layer fully connected head.
+
+Every ablation of Tables 4-5 is a constructor flag:
+
+==================  ==========================================================
+Flag                Paper variant
+==================  ==========================================================
+``use_dynamic_graph=False``   *w/o dg*  → D2STGNN† (static pre-defined graph)
+``use_adaptive=False``        *w/o apt* (no self-adaptive transition matrix)
+``use_gate=False``            *w/o gate*
+``use_residual=False``        *w/o res*
+``use_decouple=False``        *w/o decouple* → D2STGNN‡ (coupled stacking)
+``use_gru=False``             *w/o gru*
+``use_msa=False``             *w/o msa*
+``autoregressive=False``      *w/o ar* (direct multi-step heads)
+``diffusion_first=False``     *switch* (inherent block first)
+==================  ==========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import nn
+from ..graph.transition import transition_pair
+from ..tensor import Tensor
+from .decouple import CoupledLayer, DecoupledLayer
+from .diffusion_block import DiffusionBlock
+from .dynamic_graph import DynamicGraphLearner
+from .embeddings import SpatialTemporalEmbeddings
+from .inherent_block import InherentBlock
+
+__all__ = ["D2STGNNConfig", "D2STGNN"]
+
+
+@dataclass(frozen=True)
+class D2STGNNConfig:
+    """Hyper-parameters and ablation switches of D2STGNN.
+
+    Paper defaults (Sec. 6.1): hidden 32, embeddings 12, ``k_s=2``,
+    ``k_t=3``, history = horizon = 12.
+    """
+
+    num_nodes: int
+    steps_per_day: int = 288
+    in_channels: int = 1
+    out_channels: int = 1
+    history: int = 12
+    horizon: int = 12
+    hidden_dim: int = 32
+    embed_dim: int = 12
+    num_layers: int = 2
+    k_s: int = 2
+    k_t: int = 3
+    num_heads: int = 4
+    dropout: float = 0.1
+    # Ablation switches.
+    diffusion_first: bool = True
+    use_gate: bool = True
+    use_residual: bool = True
+    use_decouple: bool = True
+    use_dynamic_graph: bool = True
+    dynamic_graph_per_step: bool = False  # exact per-step P^dy (Sec. 5.3 note)
+    use_adaptive: bool = True
+    use_gru: bool = True
+    use_msa: bool = True
+    autoregressive: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 2:
+            raise ValueError("D2STGNN needs at least two sensors")
+        if self.hidden_dim % self.num_heads != 0:
+            raise ValueError("hidden_dim must be divisible by num_heads")
+        if min(self.num_layers, self.k_s, self.k_t, self.history, self.horizon) < 1:
+            raise ValueError("layer counts, kernel sizes and horizons must be >= 1")
+
+
+class D2STGNN(nn.Module):
+    """Decoupled Dynamic Spatial-Temporal Graph Neural Network.
+
+    Parameters
+    ----------
+    config:
+        Model hyper-parameters and ablation switches.
+    adjacency:
+        Static road-network adjacency (N, N); converted internally to the
+        forward/backward transition pair of Sec. 5.1.
+    """
+
+    def __init__(self, config: D2STGNNConfig, adjacency: np.ndarray) -> None:
+        super().__init__()
+        if adjacency.shape != (config.num_nodes, config.num_nodes):
+            raise ValueError(
+                f"adjacency shape {adjacency.shape} does not match num_nodes={config.num_nodes}"
+            )
+        self.config = config
+        self.p_forward, self.p_backward = transition_pair(adjacency)
+
+        self.embeddings = SpatialTemporalEmbeddings(
+            config.num_nodes, config.steps_per_day, config.embed_dim
+        )
+        self.input_projection = nn.Linear(config.in_channels, config.hidden_dim)
+        self.dropout = nn.Dropout(config.dropout)
+
+        if config.use_dynamic_graph:
+            self.graph_learner = DynamicGraphLearner(
+                config.history,
+                config.hidden_dim,
+                config.embed_dim,
+                per_step=config.dynamic_graph_per_step,
+            )
+
+        num_supports = 2 + (1 if config.use_adaptive else 0)
+        layers = []
+        for _ in range(config.num_layers):
+            diffusion = DiffusionBlock(
+                config.hidden_dim,
+                num_supports=num_supports,
+                k_s=config.k_s,
+                k_t=config.k_t,
+                horizon=config.horizon,
+                autoregressive=config.autoregressive,
+            )
+            inherent = InherentBlock(
+                config.hidden_dim,
+                num_heads=config.num_heads,
+                horizon=config.horizon,
+                use_gru=config.use_gru,
+                use_msa=config.use_msa,
+                autoregressive=config.autoregressive,
+                max_length=max(config.history, config.horizon) + 4,
+            )
+            if config.use_decouple:
+                layers.append(
+                    DecoupledLayer(
+                        diffusion,
+                        inherent,
+                        embed_dim=config.embed_dim,
+                        hidden_dim=config.hidden_dim,
+                        diffusion_first=config.diffusion_first,
+                        use_gate=config.use_gate,
+                        use_residual=config.use_residual,
+                    )
+                )
+            else:
+                layers.append(
+                    CoupledLayer(diffusion, inherent, diffusion_first=config.diffusion_first)
+                )
+        self.layers = nn.ModuleList(layers)
+        # Eq. 15 regression head: two-layer FC applied per forecast step.
+        self.head = nn.MLP([config.hidden_dim, config.hidden_dim, config.out_channels])
+
+    # ------------------------------------------------------------------
+    def _supports(self, x_latent: Tensor, t_day: Tensor, t_week: Tensor) -> list:
+        """Assemble the transition matrices for the diffusion blocks.
+
+        Dynamic graphs replace the static pair when enabled (Sec. 5.3); the
+        self-adaptive matrix (Eq. 7) is appended when enabled.
+        """
+        if self.config.use_dynamic_graph:
+            p_f, p_b = self.graph_learner(
+                x_latent,
+                t_day,
+                t_week,
+                self.embeddings.node_source,
+                self.embeddings.node_target,
+                self.p_forward,
+                self.p_backward,
+            )
+            supports: list = [p_f, p_b]
+        else:
+            supports = [self.p_forward, self.p_backward]
+        if self.config.use_adaptive:
+            supports.append(self.embeddings.adaptive_transition())
+        return supports
+
+    def forward(self, x: np.ndarray | Tensor, tod: np.ndarray, dow: np.ndarray) -> Tensor:
+        """Forecast.
+
+        Parameters
+        ----------
+        x:
+            Scaled history (B, T_h, N, C_in).
+        tod, dow:
+            Integer (B, T_h) time-of-day / day-of-week indices.
+
+        Returns
+        -------
+        Tensor
+            Predictions (B, T_f, N, C_out) in scaled units.
+        """
+        if not isinstance(x, Tensor):
+            x = Tensor(x)
+        if x.ndim != 4:
+            raise ValueError(f"expected (B, T, N, C) input, got shape {x.shape}")
+        if x.shape[2] != self.config.num_nodes:
+            raise ValueError(
+                f"input has {x.shape[2]} nodes, model built for {self.config.num_nodes}"
+            )
+        t_day, t_week = self.embeddings.time_features(tod, dow)
+
+        latent = self.dropout(self.input_projection(x))
+        supports = self._supports(latent, t_day, t_week)
+
+        forecast_sum = None
+        current = latent
+        for layer in self.layers:
+            current, f_dif, f_inh = layer(
+                current,
+                supports,
+                t_day,
+                t_week,
+                self.embeddings.node_source,
+                self.embeddings.node_target,
+            )
+            layer_sum = f_dif + f_inh
+            forecast_sum = layer_sum if forecast_sum is None else forecast_sum + layer_sum
+
+        return self.head(forecast_sum)

@@ -1,0 +1,42 @@
+"""Traffic data substrate: simulator, presets, windowing, scaling, splits."""
+
+from .datasets import (
+    PRESETS,
+    DatasetSpec,
+    ForecastingData,
+    TrafficDataset,
+    build_forecasting_data,
+    load_dataset,
+    scale_profile,
+)
+from . import io
+from .scalers import StandardScaler
+from .scenarios import SCENARIOS, scenario_config
+from .simulator import SimulationConfig, TrafficSeries, simulate_traffic, time_indices
+from .splits import FLOW_SPLIT, SPEED_SPLIT, SplitRatios, chronological_split
+from .windows import Batch, BatchIterator, WindowDataset
+
+__all__ = [
+    "Batch",
+    "BatchIterator",
+    "DatasetSpec",
+    "FLOW_SPLIT",
+    "ForecastingData",
+    "PRESETS",
+    "SCENARIOS",
+    "SPEED_SPLIT",
+    "SimulationConfig",
+    "SplitRatios",
+    "StandardScaler",
+    "TrafficDataset",
+    "TrafficSeries",
+    "WindowDataset",
+    "build_forecasting_data",
+    "chronological_split",
+    "io",
+    "load_dataset",
+    "scale_profile",
+    "scenario_config",
+    "simulate_traffic",
+    "time_indices",
+]

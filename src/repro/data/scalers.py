@@ -1,0 +1,50 @@
+"""Feature scaling.
+
+Traffic models are trained on z-scored inputs and evaluated in original
+units; the scaler must therefore round-trip exactly and must ignore the
+zero-encoded missing observations when estimating statistics (otherwise a
+long METR-LA outage biases the mean).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["StandardScaler"]
+
+
+class StandardScaler:
+    """Z-score normalisation fit on (optionally masked) training data."""
+
+    def __init__(self, null_value: float | None = 0.0) -> None:
+        self.null_value = null_value
+        self.mean: float | None = None
+        self.std: float | None = None
+
+    def fit(self, values: np.ndarray) -> "StandardScaler":
+        values = np.asarray(values, dtype=np.float64)
+        if self.null_value is not None:
+            mask = ~np.isclose(values, self.null_value)
+            if not mask.any():
+                raise ValueError("all values equal the null value; cannot fit scaler")
+            values = values[mask]
+        self.mean = float(values.mean())
+        self.std = float(values.std())
+        if self.std == 0.0:
+            self.std = 1.0
+        return self
+
+    def _require_fit(self) -> None:
+        if self.mean is None or self.std is None:
+            raise RuntimeError("scaler used before fit()")
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        self._require_fit()
+        return ((np.asarray(values) - self.mean) / self.std).astype(np.float32)
+
+    def inverse_transform(self, values: np.ndarray) -> np.ndarray:
+        self._require_fit()
+        return (np.asarray(values) * self.std + self.mean).astype(np.float32)
+
+    def fit_transform(self, values: np.ndarray) -> np.ndarray:
+        return self.fit(values).transform(values)

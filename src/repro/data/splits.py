@@ -1,0 +1,49 @@
+"""Chronological train/validation/test splitting.
+
+The paper uses 70/10/20 for the speed datasets and 60/20/20 for the flow
+datasets (Sec. 6.2.1), always in time order — shuffling before splitting
+would leak future information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SplitRatios", "chronological_split", "SPEED_SPLIT", "FLOW_SPLIT"]
+
+
+@dataclass(frozen=True)
+class SplitRatios:
+    train: float
+    val: float
+    test: float
+
+    def __post_init__(self) -> None:
+        total = self.train + self.val + self.test
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(f"split ratios must sum to 1, got {total}")
+        if min(self.train, self.val, self.test) <= 0:
+            raise ValueError("all split ratios must be positive")
+
+
+SPEED_SPLIT = SplitRatios(train=0.7, val=0.1, test=0.2)
+FLOW_SPLIT = SplitRatios(train=0.6, val=0.2, test=0.2)
+
+
+def chronological_split(
+    num_samples: int, ratios: SplitRatios
+) -> tuple[tuple[int, int], tuple[int, int], tuple[int, int]]:
+    """Return ((train_start, train_stop), (val_start, val_stop), (test_start, test_stop)).
+
+    Boundaries follow the paper's convention: train first, then validation,
+    then test (the Fig. 8 visualisation windows are "located in the test
+    dataset", i.e. at the chronological end).
+    """
+    if num_samples < 3:
+        raise ValueError("need at least 3 samples to make a 3-way split")
+    train_stop = int(num_samples * ratios.train)
+    val_stop = train_stop + int(num_samples * ratios.val)
+    train_stop = max(train_stop, 1)
+    val_stop = max(val_stop, train_stop + 1)
+    val_stop = min(val_stop, num_samples - 1)
+    return (0, train_stop), (train_stop, val_stop), (val_stop, num_samples)

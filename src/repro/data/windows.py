@@ -1,0 +1,154 @@
+"""Sliding-window sample generation and batching.
+
+The paper generates samples "through a sliding window with a width of 24
+(2 hours), where the first 12 time steps are used as input, and the remaining
+12 time steps are used as ground truth" (Sec. 6.2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["WindowDataset", "Batch", "BatchIterator"]
+
+
+@dataclass
+class Batch:
+    """One mini-batch of forecasting samples.
+
+    Attributes
+    ----------
+    x:
+        (B, T_h, N, C) model input in *scaled* units.
+    y:
+        (B, T_f, N, C) forecasting target in *original* units (losses and
+        metrics mask zeros, so targets stay un-scaled; models emit original
+        units via their regression head).
+    tod, dow:
+        (B, T_h) integer time-of-day / day-of-week indices of the input steps.
+    """
+
+    x: np.ndarray
+    y: np.ndarray
+    tod: np.ndarray
+    dow: np.ndarray
+
+    @property
+    def size(self) -> int:
+        return self.x.shape[0]
+
+
+class WindowDataset:
+    """Index-based view of all (input, target) windows over a series.
+
+    Materialising every window would copy the series ``T_h + T_f`` times;
+    instead windows are sliced on access.
+    """
+
+    def __init__(
+        self,
+        values_scaled: np.ndarray,
+        values_raw: np.ndarray,
+        time_of_day: np.ndarray,
+        day_of_week: np.ndarray,
+        history: int = 12,
+        horizon: int = 12,
+    ) -> None:
+        if values_scaled.ndim == 2:  # (T, N) -> (T, N, 1)
+            values_scaled = values_scaled[..., None]
+        if values_raw.ndim == 2:
+            values_raw = values_raw[..., None]
+        if values_scaled.shape[:2] != values_raw.shape[:2]:
+            raise ValueError(
+                "scaled inputs and raw targets must cover the same (time, node) "
+                f"grid: {values_scaled.shape} vs {values_raw.shape}"
+            )
+        if history < 1 or horizon < 1:
+            raise ValueError("history and horizon must be >= 1")
+        total = values_scaled.shape[0]
+        if total < history + horizon:
+            raise ValueError(
+                f"series of length {total} too short for history={history}, horizon={horizon}"
+            )
+        self.values_scaled = values_scaled
+        self.values_raw = values_raw
+        self.time_of_day = np.asarray(time_of_day)
+        self.day_of_week = np.asarray(day_of_week)
+        self.history = history
+        self.horizon = horizon
+        self.num_samples = total - history - horizon + 1
+
+    def __len__(self) -> int:
+        return self.num_samples
+
+    def sample(self, index: int) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        if not 0 <= index < self.num_samples:
+            raise IndexError(f"sample index {index} out of range [0, {self.num_samples})")
+        start = index
+        mid = index + self.history
+        end = mid + self.horizon
+        return (
+            self.values_scaled[start:mid],
+            self.values_raw[mid:end],
+            self.time_of_day[start:mid],
+            self.day_of_week[start:mid],
+        )
+
+    def gather(self, indices: np.ndarray) -> Batch:
+        xs, ys, tods, dows = zip(*(self.sample(int(i)) for i in indices))
+        return Batch(
+            x=np.stack(xs), y=np.stack(ys), tod=np.stack(tods), dow=np.stack(dows)
+        )
+
+    def subset(self, start: int, stop: int) -> "WindowSubset":
+        return WindowSubset(self, start, stop)
+
+
+class WindowSubset:
+    """A contiguous range of window indices (train/val/test portions)."""
+
+    def __init__(self, dataset: WindowDataset, start: int, stop: int) -> None:
+        if not 0 <= start <= stop <= len(dataset):
+            raise ValueError(f"invalid subset range [{start}, {stop}) of {len(dataset)}")
+        self.dataset = dataset
+        self.start = start
+        self.stop = stop
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+    def gather(self, indices: np.ndarray) -> Batch:
+        return self.dataset.gather(np.asarray(indices) + self.start)
+
+    def all_indices(self) -> np.ndarray:
+        return np.arange(len(self))
+
+
+class BatchIterator:
+    """Iterate over a :class:`WindowSubset` in (optionally shuffled) batches."""
+
+    def __init__(
+        self,
+        subset: WindowSubset,
+        batch_size: int = 32,
+        shuffle: bool = False,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.subset = subset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.rng = rng or np.random.default_rng(0)
+
+    def __len__(self) -> int:
+        return (len(self.subset) + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self):
+        order = self.subset.all_indices()
+        if self.shuffle:
+            order = self.rng.permutation(order)
+        for begin in range(0, len(order), self.batch_size):
+            yield self.subset.gather(order[begin : begin + self.batch_size])

@@ -1,0 +1,34 @@
+"""Road networks, adjacency construction and diffusion transition matrices."""
+
+from .adjacency import (
+    binary_adjacency,
+    gaussian_kernel_adjacency,
+    shortest_path_distances,
+    validate_adjacency,
+)
+from .localized import localized_transition, localized_transition_stack, mask_self_loops
+from .road_network import RoadNetwork, generate_road_network
+from .transition import (
+    backward_transition,
+    forward_transition,
+    matrix_powers,
+    symmetric_normalized_laplacian,
+    transition_pair,
+)
+
+__all__ = [
+    "RoadNetwork",
+    "backward_transition",
+    "binary_adjacency",
+    "shortest_path_distances",
+    "forward_transition",
+    "gaussian_kernel_adjacency",
+    "generate_road_network",
+    "localized_transition",
+    "localized_transition_stack",
+    "mask_self_loops",
+    "matrix_powers",
+    "symmetric_normalized_laplacian",
+    "transition_pair",
+    "validate_adjacency",
+]

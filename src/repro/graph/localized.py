@@ -1,0 +1,49 @@
+"""Spatial-temporal localized transition matrices (paper Eq. 4).
+
+For a transition matrix ``P`` and orders ``k = 1..k_s``, the localized matrix
+
+    (P^local)^k = [ P^k ⊙ (1 - I_N) || ... || P^k ⊙ (1 - I_N) ]   (k_t copies)
+
+has shape ``(N, k_t * N)``; entry ``[i, j + k'N]`` is the influence of node
+``j`` at time offset ``k'`` on node ``i``.  The diagonal of every block is
+masked to zero: a node's own history is *inherent*, not diffusion, and must
+be left for the inherent model — this masking is the mechanism that ties the
+diffusion block to the decoupling story.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .transition import matrix_powers
+
+__all__ = ["mask_self_loops", "localized_transition", "localized_transition_stack"]
+
+
+def mask_self_loops(transition: np.ndarray) -> np.ndarray:
+    """``P ⊙ (1 - I_N)``: remove each node's self-influence."""
+    masked = transition.copy()
+    np.fill_diagonal(masked, 0.0)
+    return masked
+
+
+def localized_transition(transition: np.ndarray, order: int, k_t: int) -> np.ndarray:
+    """``(P^local)^order`` of shape ``(N, k_t * N)`` for a single order."""
+    if k_t < 1:
+        raise ValueError("temporal kernel size k_t must be >= 1")
+    power = matrix_powers(transition, order)[-1]
+    block = mask_self_loops(power)
+    return np.concatenate([block] * k_t, axis=1).astype(np.float32)
+
+
+def localized_transition_stack(
+    transition: np.ndarray, k_s: int, k_t: int
+) -> list[np.ndarray]:
+    """``[(P^local)^1, ..., (P^local)^{k_s}]``, each ``(N, k_t * N)``."""
+    if k_s < 1:
+        raise ValueError("spatial kernel size k_s must be >= 1")
+    powers = matrix_powers(transition, k_s)
+    return [
+        np.concatenate([mask_self_loops(p)] * k_t, axis=1).astype(np.float32)
+        for p in powers
+    ]

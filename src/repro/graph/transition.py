@@ -1,0 +1,61 @@
+"""Diffusion transition matrices.
+
+The diffusion model treats traffic as a random walk on the sensor graph
+(Sec. 5.1): the forward transition ``P_f = A / rowsum(A)`` describes where
+vehicles at a node go next, and the backward transition
+``P_b = A^T / rowsum(A^T)`` where they came from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .adjacency import validate_adjacency
+
+__all__ = [
+    "forward_transition",
+    "backward_transition",
+    "transition_pair",
+    "matrix_powers",
+    "symmetric_normalized_laplacian",
+]
+
+
+def _row_normalize(matrix: np.ndarray) -> np.ndarray:
+    rowsum = matrix.sum(axis=1, keepdims=True)
+    rowsum[rowsum == 0] = 1.0  # isolated rows become zero rows, not NaN
+    return (matrix / rowsum).astype(np.float32)
+
+
+def forward_transition(adjacency: np.ndarray) -> np.ndarray:
+    """``P_f = A / rowsum(A)`` — row-stochastic where the graph has edges."""
+    return _row_normalize(validate_adjacency(adjacency))
+
+
+def backward_transition(adjacency: np.ndarray) -> np.ndarray:
+    """``P_b = A^T / rowsum(A^T)``."""
+    return _row_normalize(validate_adjacency(adjacency).T)
+
+
+def transition_pair(adjacency: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(P_f, P_b)``."""
+    return forward_transition(adjacency), backward_transition(adjacency)
+
+
+def matrix_powers(transition: np.ndarray, max_order: int) -> list[np.ndarray]:
+    """Return ``[P^1, P^2, ..., P^max_order]``."""
+    if max_order < 1:
+        raise ValueError("max_order must be >= 1")
+    powers = [transition.astype(np.float32)]
+    for _ in range(max_order - 1):
+        powers.append((powers[-1] @ transition).astype(np.float32))
+    return powers
+
+
+def symmetric_normalized_laplacian(adjacency: np.ndarray) -> np.ndarray:
+    """``I - D^{-1/2} A D^{-1/2}``; used by the STGCN baseline's Chebyshev GCN."""
+    adjacency = validate_adjacency(adjacency)
+    degree = adjacency.sum(axis=1)
+    inv_sqrt = np.where(degree > 0, 1.0 / np.sqrt(degree), 0.0)
+    normalized = adjacency * inv_sqrt[:, None] * inv_sqrt[None, :]
+    return (np.eye(adjacency.shape[0], dtype=np.float32) - normalized).astype(np.float32)

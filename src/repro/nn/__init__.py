@@ -1,0 +1,41 @@
+"""Neural-network layer library built on :mod:`repro.tensor`."""
+
+from . import init
+from .activations import LeakyReLU, ReLU, Sigmoid, Tanh
+from .attention import MultiHeadSelfAttention, scaled_dot_product_attention
+from .container import ModuleList, Sequential
+from .dropout import Dropout
+from .embedding import Embedding
+from .linear import Linear, MLP
+from .module import Module, Parameter
+from .normalization import LayerNorm
+from .positional import PositionalEncoding, sinusoidal_encoding
+from .rnn import GRU, GRUCell, LSTM, LSTMCell
+from .temporal import CausalConv, GatedTemporalConv
+
+__all__ = [
+    "CausalConv",
+    "Dropout",
+    "GatedTemporalConv",
+    "Embedding",
+    "GRU",
+    "GRUCell",
+    "LayerNorm",
+    "LeakyReLU",
+    "Linear",
+    "LSTM",
+    "LSTMCell",
+    "MLP",
+    "Module",
+    "ModuleList",
+    "MultiHeadSelfAttention",
+    "Parameter",
+    "PositionalEncoding",
+    "ReLU",
+    "Sequential",
+    "Sigmoid",
+    "Tanh",
+    "init",
+    "scaled_dot_product_attention",
+    "sinusoidal_encoding",
+]

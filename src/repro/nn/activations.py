@@ -1,0 +1,40 @@
+"""Activation-function modules (for use inside :class:`~repro.nn.Sequential`)."""
+
+from __future__ import annotations
+
+from ..tensor import Tensor
+from .module import Module
+
+__all__ = ["ReLU", "Sigmoid", "Tanh", "LeakyReLU"]
+
+
+class ReLU(Module):
+    """Rectified linear unit: ``max(x, 0)``."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Sigmoid(Module):
+    """Logistic function: ``1 / (1 + exp(-x))``."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class Tanh(Module):
+    """Hyperbolic tangent."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class LeakyReLU(Module):
+    """ReLU with a small slope for negative inputs."""
+
+    def __init__(self, negative_slope: float = 0.01) -> None:
+        super().__init__()
+        self.negative_slope = negative_slope
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.leaky_relu(self.negative_slope)

@@ -1,0 +1,30 @@
+"""Inverted dropout regularisation."""
+
+from __future__ import annotations
+
+from ..tensor import Tensor
+from ..utils.seed import get_rng
+from .module import Module
+
+__all__ = ["Dropout"]
+
+
+class Dropout(Module):
+    """Zero each element with probability ``p`` during training.
+
+    Uses the inverted-dropout convention: surviving activations are scaled by
+    ``1/(1-p)`` so evaluation mode is the identity.
+    """
+
+    def __init__(self, p: float = 0.1) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (get_rng().random(x.shape) < keep).astype(x.dtype) / keep
+        return x * Tensor(mask)

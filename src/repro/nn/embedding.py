@@ -1,0 +1,38 @@
+"""Lookup-table embeddings.
+
+The paper's estimation gate and dynamic graph learner rely on four such
+tables: time-of-day slots (T^D), day-of-week slots (T^W), and source/target
+node embeddings (E^u, E^d) — all "randomly initialized with learnable
+parameters" (Sec. 4.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor
+from . import init
+from .module import Module, Parameter
+
+__all__ = ["Embedding"]
+
+
+class Embedding(Module):
+    """Map integer indices to learned d-dimensional vectors."""
+
+    def __init__(self, num_embeddings: int, dim: int) -> None:
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+        self.weight = Parameter(init.xavier_uniform(num_embeddings, dim))
+
+    def forward(self, indices) -> Tensor:
+        idx = np.asarray(indices)
+        if not np.issubdtype(idx.dtype, np.integer):
+            raise TypeError(f"embedding indices must be integers, got {idx.dtype}")
+        if idx.size and (idx.min() < 0 or idx.max() >= self.num_embeddings):
+            raise IndexError(
+                f"embedding index out of range [0, {self.num_embeddings}): "
+                f"min={idx.min()}, max={idx.max()}"
+            )
+        return self.weight[idx]

@@ -1,0 +1,74 @@
+"""Weight initialisation schemes.
+
+All functions return float32 numpy arrays drawn from the library-wide RNG
+(:mod:`repro.utils.seed`), so model construction is deterministic after
+``set_seed``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..utils.seed import get_rng
+
+__all__ = [
+    "zeros",
+    "ones",
+    "uniform",
+    "normal",
+    "xavier_uniform",
+    "xavier_normal",
+    "kaiming_uniform",
+]
+
+
+def zeros(*shape: int) -> np.ndarray:
+    """All-zero float32 array (biases)."""
+    return np.zeros(shape, dtype=np.float32)
+
+
+def ones(*shape: int) -> np.ndarray:
+    """All-one float32 array (LayerNorm gains)."""
+    return np.ones(shape, dtype=np.float32)
+
+
+def uniform(*shape: int, low: float = -0.1, high: float = 0.1) -> np.ndarray:
+    """Uniform values in ``[low, high)``."""
+    return get_rng().uniform(low, high, size=shape).astype(np.float32)
+
+
+def normal(*shape: int, std: float = 0.02) -> np.ndarray:
+    """Zero-mean Gaussian values with the given standard deviation."""
+    return (get_rng().standard_normal(shape) * std).astype(np.float32)
+
+
+def _fan_in_out(shape: tuple[int, ...]) -> tuple[int, int]:
+    if len(shape) < 2:
+        return shape[0], shape[0]
+    receptive = int(np.prod(shape[2:])) if len(shape) > 2 else 1
+    fan_in = shape[0] * receptive
+    fan_out = shape[1] * receptive
+    return fan_in, fan_out
+
+
+def xavier_uniform(*shape: int, gain: float = 1.0) -> np.ndarray:
+    """Glorot uniform; the default for linear / attention projections."""
+    fan_in, fan_out = _fan_in_out(shape)
+    bound = gain * math.sqrt(6.0 / (fan_in + fan_out))
+    return get_rng().uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def xavier_normal(*shape: int, gain: float = 1.0) -> np.ndarray:
+    """Glorot normal initialisation."""
+    fan_in, fan_out = _fan_in_out(shape)
+    std = gain * math.sqrt(2.0 / (fan_in + fan_out))
+    return (get_rng().standard_normal(shape) * std).astype(np.float32)
+
+
+def kaiming_uniform(*shape: int) -> np.ndarray:
+    """He uniform; suited to ReLU stacks (backcast/forecast branches)."""
+    fan_in, _ = _fan_in_out(shape)
+    bound = math.sqrt(6.0 / fan_in)
+    return get_rng().uniform(-bound, bound, size=shape).astype(np.float32)

@@ -1,0 +1,31 @@
+"""Normalisation layers."""
+
+from __future__ import annotations
+
+from ..tensor import Tensor
+from . import init
+from .module import Module, Parameter
+
+__all__ = ["LayerNorm"]
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the trailing feature axis.
+
+    Used after the self-attention block of the inherent model and in several
+    attention-based baselines (GMAN, ASTGCN).
+    """
+
+    def __init__(self, dim: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.gamma = Parameter(init.ones(dim))
+        self.beta = Parameter(init.zeros(dim))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        variance = (centered * centered).mean(axis=-1, keepdims=True)
+        normalised = centered / (variance + self.eps).sqrt()
+        return normalised * self.gamma + self.beta

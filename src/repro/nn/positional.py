@@ -1,0 +1,42 @@
+"""Sinusoidal positional encoding (paper Eq. 12; not trainable)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor
+from .module import Module
+
+__all__ = ["sinusoidal_encoding", "PositionalEncoding"]
+
+
+def sinusoidal_encoding(length: int, dim: int) -> np.ndarray:
+    """Return the (length, dim) table of Eq. 12.
+
+    Even feature indices carry ``sin``, odd indices ``cos``, with geometric
+    wavelengths from 2π to 10000·2π.
+    """
+    positions = np.arange(length, dtype=np.float64)[:, None]
+    feature = np.arange(dim, dtype=np.float64)[None, :]
+    angles = positions / np.power(10000.0, 2.0 * np.floor(feature / 2.0) / dim)
+    table = np.where(feature % 2 == 0, np.sin(angles), np.cos(angles))
+    return table.astype(np.float32)
+
+
+class PositionalEncoding(Module):
+    """Add the sinusoidal table to a batch-first ``(batch, time, dim)`` input.
+
+    The table is cached per (length, dim); it carries no parameters, matching
+    the paper's "the positional encoding is not trainable".
+    """
+
+    def __init__(self, dim: int, max_length: int = 512) -> None:
+        super().__init__()
+        self.dim = dim
+        self._table = sinusoidal_encoding(max_length, dim)
+
+    def forward(self, x: Tensor) -> Tensor:
+        length = x.shape[1]
+        if length > self._table.shape[0]:
+            self._table = sinusoidal_encoding(length, self.dim)
+        return x + Tensor(self._table[:length])

@@ -1,0 +1,51 @@
+"""Temporal convolution layers (WaveNet-family building blocks).
+
+Shared by the Graph WaveNet / MTGNN baselines and the alternative DSTF
+block instantiations in :mod:`repro.core.alternative_blocks`.
+"""
+
+from __future__ import annotations
+
+from ..tensor import Tensor
+from .linear import Linear
+from .module import Module
+
+__all__ = ["CausalConv", "GatedTemporalConv"]
+
+
+class CausalConv(Module):
+    """Dilated causal 1-D convolution along the time axis (kernel size 2).
+
+    ``y_t = x_t W_1 + x_{t-dilation} W_2`` with zero padding on the left.
+    Input/output: (B, T, N, d) — the node axis rides along.
+    """
+
+    def __init__(self, in_dim: int, out_dim: int, dilation: int = 1) -> None:
+        super().__init__()
+        if dilation < 1:
+            raise ValueError("dilation must be >= 1")
+        self.dilation = dilation
+        self.w_now = Linear(in_dim, out_dim, bias=True)
+        self.w_past = Linear(in_dim, out_dim, bias=False)
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, steps, nodes, dim = x.shape
+        now = self.w_now(x)
+        d = self.dilation
+        if d >= steps:
+            return now
+        pad = Tensor.zeros((batch, d, nodes, self.w_past.out_features))
+        past = Tensor.concatenate([pad, self.w_past(x[:, : steps - d])], axis=1)
+        return now + past
+
+
+class GatedTemporalConv(Module):
+    """Gated TCN unit: ``tanh(conv(x)) ⊙ sigmoid(conv(x))`` (Graph WaveNet)."""
+
+    def __init__(self, in_dim: int, out_dim: int, dilation: int = 1) -> None:
+        super().__init__()
+        self.filter_conv = CausalConv(in_dim, out_dim, dilation)
+        self.gate_conv = CausalConv(in_dim, out_dim, dilation)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.filter_conv(x).tanh() * self.gate_conv(x).sigmoid()

@@ -1,0 +1,8 @@
+"""Optimizers and learning-rate schedules."""
+
+from .adam import Adam
+from .lr_scheduler import CosineAnnealingLR, StepLR
+from .optimizer import Optimizer, clip_grad_norm
+from .sgd import SGD
+
+__all__ = ["Adam", "CosineAnnealingLR", "Optimizer", "SGD", "StepLR", "clip_grad_norm"]

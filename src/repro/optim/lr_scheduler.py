@@ -1,0 +1,51 @@
+"""Learning-rate schedules operating on an :class:`~repro.optim.Optimizer`."""
+
+from __future__ import annotations
+
+import math
+
+from .optimizer import Optimizer
+
+__all__ = ["StepLR", "CosineAnnealingLR"]
+
+
+class StepLR:
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs.
+
+    DCRNN-style decay; call :meth:`step` once per epoch.
+    """
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.5) -> None:
+        if step_size < 1:
+            raise ValueError("step_size must be >= 1")
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> float:
+        self.epoch += 1
+        self.optimizer.lr = self.base_lr * self.gamma ** (self.epoch // self.step_size)
+        return self.optimizer.lr
+
+
+class CosineAnnealingLR:
+    """Cosine decay from the base LR to ``min_lr`` over ``total_epochs``."""
+
+    def __init__(self, optimizer: Optimizer, total_epochs: int, min_lr: float = 0.0) -> None:
+        if total_epochs < 1:
+            raise ValueError("total_epochs must be >= 1")
+        self.optimizer = optimizer
+        self.total_epochs = total_epochs
+        self.min_lr = min_lr
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> float:
+        self.epoch = min(self.epoch + 1, self.total_epochs)
+        progress = self.epoch / self.total_epochs
+        self.optimizer.lr = self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (
+            1.0 + math.cos(math.pi * progress)
+        )
+        return self.optimizer.lr

@@ -1,0 +1,44 @@
+"""Optimizer base class and gradient utilities."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from ..nn.module import Parameter
+
+__all__ = ["Optimizer", "clip_grad_norm"]
+
+
+class Optimizer:
+    """Base class: holds the parameter list and the learning rate."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float) -> None:
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received an empty parameter list")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
+    """Scale gradients in place so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clipping norm.  Standard practice for the RNN-containing
+    models reproduced here (DCRNN, DGCRN, D2STGNN).
+    """
+    params = [p for p in parameters if p.grad is not None]
+    total = math.sqrt(sum(float((p.grad**2).sum()) for p in params))
+    if total > max_norm and total > 0:
+        scale = max_norm / total
+        for param in params:
+            param.grad *= scale
+    return total

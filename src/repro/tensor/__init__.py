@@ -1,0 +1,15 @@
+"""Reverse-mode autodiff substrate (the repository's stand-in for PyTorch)."""
+
+from .tensor import DEFAULT_DTYPE, Tensor, is_grad_enabled, no_grad
+from . import functional
+from .gradcheck import gradcheck, numerical_gradient
+
+__all__ = [
+    "DEFAULT_DTYPE",
+    "Tensor",
+    "functional",
+    "gradcheck",
+    "is_grad_enabled",
+    "no_grad",
+    "numerical_gradient",
+]

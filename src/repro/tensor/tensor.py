@@ -1,0 +1,674 @@
+"""A minimal reverse-mode automatic differentiation engine on numpy.
+
+This module provides :class:`Tensor`, the substrate on which every neural
+network in this repository is built.  It replaces the role PyTorch plays in
+the original D2STGNN code base (see DESIGN.md, substitution table): a tensor
+wraps a ``numpy.ndarray`` and records, for every differentiable operation, a
+closure that propagates gradients back to its inputs.  Calling
+:meth:`Tensor.backward` on a scalar loss walks the recorded graph in reverse
+topological order and accumulates ``.grad`` on every tensor created with
+``requires_grad=True``.
+
+Design notes
+------------
+* Gradients are plain ``numpy.ndarray`` objects, never tensors, so the graph
+  is not retained across backward passes and memory is released eagerly.
+* Broadcasting follows numpy semantics; :func:`_unbroadcast` folds gradients
+  back onto the original operand shape by summing over broadcast axes.
+* ``float32`` is the default dtype: it halves memory traffic, which dominates
+  pure-numpy training time.
+* Only the primitives the models in this repository require are implemented;
+  composite functions (softmax, attention, ...) live in
+  :mod:`repro.tensor.functional`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "DEFAULT_DTYPE"]
+
+DEFAULT_DTYPE = np.float32
+
+_GRAD_ENABLED = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables graph recording (like ``torch.no_grad``)."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record the backward graph."""
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` over axes that were added or expanded by broadcasting.
+
+    ``grad`` has the broadcast (output) shape; the result has ``shape``.
+    """
+    if grad.shape == shape:
+        return grad
+    # Remove leading axes that broadcasting prepended.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were expanded from size 1.
+    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad
+
+
+def _as_array(value, dtype=None) -> np.ndarray:
+    arr = np.asarray(value, dtype=dtype if dtype is not None else None)
+    if arr.dtype == np.float64:
+        arr = arr.astype(DEFAULT_DTYPE)
+    return arr
+
+
+class Tensor:
+    """An n-dimensional array with reverse-mode automatic differentiation.
+
+    Parameters
+    ----------
+    data:
+        Anything ``numpy.asarray`` accepts.  Float64 input is downcast to
+        float32 (the library default).
+    requires_grad:
+        When True, gradients are accumulated into :attr:`grad` by
+        :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward", "_op")
+
+    def __init__(
+        self,
+        data,
+        requires_grad: bool = False,
+        _parents: tuple["Tensor", ...] = (),
+        _backward: Callable[[np.ndarray], None] | None = None,
+        _op: str = "",
+    ) -> None:
+        self.data = data if isinstance(data, np.ndarray) else _as_array(data)
+        if self.data.dtype == np.float64:
+            self.data = self.data.astype(DEFAULT_DTYPE)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad)
+        self._parents = _parents
+        self._backward = _backward
+        self._op = _op
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({self.data!r}{grad_flag})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.item())
+
+    def detach(self) -> "Tensor":
+        """Return a tensor sharing data but severed from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Graph construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        backward: Callable[[np.ndarray], None],
+        op: str,
+    ) -> "Tensor":
+        needs = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        if not needs:
+            return Tensor(data)
+        tracked = tuple(p for p in parents if p.requires_grad)
+        return Tensor(data, requires_grad=True, _parents=tracked, _backward=backward, _op=op)
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = grad.astype(self.data.dtype, copy=True)
+        else:
+            self.grad += grad
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor.
+
+        ``grad`` defaults to ones (valid only for scalar outputs, mirroring
+        the PyTorch convention).
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar outputs")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=self.data.dtype)
+
+        # Topological order via iterative DFS (recursion would overflow on
+        # RNN graphs unrolled over long sequences).
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self._accumulate(grad)
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+                # Free intermediate gradients and the tape eagerly; keep
+                # leaf gradients (parameters / explicit leaves).
+                node._backward = None
+                node._parents = ()
+                node.grad = None if node._op else node.grad
+
+    # ------------------------------------------------------------------
+    # Elementwise arithmetic
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _coerce(other) -> "Tensor":
+        return other if isinstance(other, Tensor) else Tensor(other)
+
+    def __add__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data + other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(grad, other.shape))
+
+        return Tensor._make(out_data, (self, other), backward, "add")
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data - other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(-grad, other.shape))
+
+        return Tensor._make(out_data, (self, other), backward, "sub")
+
+    def __rsub__(self, other) -> "Tensor":
+        return self._coerce(other) - self
+
+    def __mul__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data * other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad * other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(grad * self.data, other.shape))
+
+        return Tensor._make(out_data, (self, other), backward, "mul")
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data / other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad / other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(
+                    _unbroadcast(-grad * self.data / (other.data**2), other.shape)
+                )
+
+        return Tensor._make(out_data, (self, other), backward, "div")
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return self._coerce(other) / self
+
+    def __neg__(self) -> "Tensor":
+        out_data = -self.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(-grad)
+
+        return Tensor._make(out_data, (self,), backward, "neg")
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        out_data = self.data**exponent
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        return Tensor._make(out_data, (self,), backward, "pow")
+
+    # ------------------------------------------------------------------
+    # Unary nonlinearities
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * out_data)
+
+        return Tensor._make(out_data, (self,), backward, "exp")
+
+    def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad / self.data)
+
+        return Tensor._make(out_data, (self,), backward, "log")
+
+    def sqrt(self) -> "Tensor":
+        out_data = np.sqrt(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * 0.5 / out_data)
+
+        return Tensor._make(out_data, (self,), backward, "sqrt")
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * (1.0 - out_data**2))
+
+        return Tensor._make(out_data, (self,), backward, "tanh")
+
+    def sigmoid(self) -> "Tensor":
+        # Numerically stable logistic function: exp of a non-positive value
+        # only, so neither branch can overflow.
+        x = self.data
+        exp_neg_abs = np.exp(-np.abs(x))
+        out_data = np.where(x >= 0, 1.0 / (1.0 + exp_neg_abs), exp_neg_abs / (1.0 + exp_neg_abs))
+        out_data = out_data.astype(x.dtype)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * out_data * (1.0 - out_data))
+
+        return Tensor._make(out_data, (self,), backward, "sigmoid")
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        out_data = self.data * mask
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * mask)
+
+        return Tensor._make(out_data, (self,), backward, "relu")
+
+    def abs(self) -> "Tensor":
+        sign = np.sign(self.data)
+        out_data = np.abs(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * sign)
+
+        return Tensor._make(out_data, (self,), backward, "abs")
+
+    def leaky_relu(self, negative_slope: float = 0.01) -> "Tensor":
+        mask = self.data > 0
+        scale = np.where(mask, 1.0, negative_slope).astype(self.data.dtype)
+        out_data = self.data * scale
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * scale)
+
+        return Tensor._make(out_data, (self,), backward, "leaky_relu")
+
+    # ------------------------------------------------------------------
+    # Matrix multiplication
+    # ------------------------------------------------------------------
+    def __matmul__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data @ other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                if other.data.ndim == 1:
+                    grad_self = np.multiply.outer(grad, other.data)
+                else:
+                    grad_self = grad @ np.swapaxes(other.data, -1, -2)
+                if self.data.ndim == 1:
+                    grad_self = grad_self.reshape(self.shape) if grad_self.shape != self.shape else grad_self
+                self._accumulate(_unbroadcast(grad_self, self.shape))
+            if other.requires_grad:
+                if self.data.ndim == 1:
+                    grad_other = np.multiply.outer(self.data, grad)
+                else:
+                    grad_other = np.swapaxes(self.data, -1, -2) @ grad
+                other._accumulate(_unbroadcast(grad_other, other.shape))
+
+        return Tensor._make(out_data, (self, other), backward, "matmul")
+
+    def __rmatmul__(self, other) -> "Tensor":
+        return self._coerce(other) @ self
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            g = grad
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis=axis)
+            self._accumulate(np.broadcast_to(g, self.shape).astype(self.data.dtype))
+
+        return Tensor._make(out_data, (self,), backward, "sum")
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            g = grad
+            o = out_data
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis=axis)
+                o = np.expand_dims(o, axis=axis)
+            mask = (self.data == o).astype(self.data.dtype)
+            # Split gradient equally among ties to keep gradcheck happy.
+            counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+            self._accumulate(g * mask / counts)
+
+        return Tensor._make(out_data, (self,), backward, "max")
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+        original = self.shape
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad.reshape(original))
+
+        return Tensor._make(out_data, (self,), backward, "reshape")
+
+    def transpose(self, *axes) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        out_data = self.data.transpose(axes)
+        inverse = np.argsort(axes)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad.transpose(inverse))
+
+        return Tensor._make(out_data, (self,), backward, "transpose")
+
+    def swapaxes(self, a: int, b: int) -> "Tensor":
+        axes = list(range(self.ndim))
+        axes[a], axes[b] = axes[b], axes[a]
+        return self.transpose(tuple(axes))
+
+    def expand_dims(self, axis: int) -> "Tensor":
+        out_data = np.expand_dims(self.data, axis)
+        original = self.shape
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad.reshape(original))
+
+        return Tensor._make(out_data, (self,), backward, "expand_dims")
+
+    def squeeze(self, axis: int) -> "Tensor":
+        out_data = np.squeeze(self.data, axis=axis)
+        original = self.shape
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad.reshape(original))
+
+        return Tensor._make(out_data, (self,), backward, "squeeze")
+
+    def broadcast_to(self, shape: tuple[int, ...]) -> "Tensor":
+        out_data = np.broadcast_to(self.data, shape)
+        original = self.shape
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad, original))
+
+        return Tensor._make(np.ascontiguousarray(out_data), (self,), backward, "broadcast")
+
+    def __getitem__(self, index) -> "Tensor":
+        out_data = self.data[index]
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                full = np.zeros_like(self.data)
+                np.add.at(full, index, grad)
+                self._accumulate(full)
+
+        return Tensor._make(out_data, (self,), backward, "getitem")
+
+    # ------------------------------------------------------------------
+    # Combinators (static)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def concatenate(tensors: Iterable["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [Tensor._coerce(t) for t in tensors]
+        out_data = np.concatenate([t.data for t in tensors], axis=axis)
+        sizes = [t.shape[axis] for t in tensors]
+        offsets = np.cumsum([0] + sizes)
+
+        def backward(grad: np.ndarray) -> None:
+            for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+                if tensor.requires_grad:
+                    slicer = [slice(None)] * grad.ndim
+                    slicer[axis] = slice(start, stop)
+                    tensor._accumulate(grad[tuple(slicer)])
+
+        return Tensor._make(out_data, tuple(tensors), backward, "concat")
+
+    @staticmethod
+    def stack(tensors: Iterable["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [Tensor._coerce(t) for t in tensors]
+        out_data = np.stack([t.data for t in tensors], axis=axis)
+
+        def backward(grad: np.ndarray) -> None:
+            slices = np.moveaxis(grad, axis, 0)
+            for tensor, piece in zip(tensors, slices):
+                if tensor.requires_grad:
+                    tensor._accumulate(piece)
+
+        return Tensor._make(out_data, tuple(tensors), backward, "stack")
+
+    @staticmethod
+    def where(condition: np.ndarray, a: "Tensor", b: "Tensor") -> "Tensor":
+        a = Tensor._coerce(a)
+        b = Tensor._coerce(b)
+        cond = np.asarray(condition, dtype=bool)
+        out_data = np.where(cond, a.data, b.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if a.requires_grad:
+                a._accumulate(_unbroadcast(grad * cond, a.shape))
+            if b.requires_grad:
+                b._accumulate(_unbroadcast(grad * ~cond, b.shape))
+
+        return Tensor._make(out_data, (a, b), backward, "where")
+
+    @staticmethod
+    def zeros(shape, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.zeros(shape, dtype=DEFAULT_DTYPE), requires_grad=requires_grad)
+
+    @staticmethod
+    def ones(shape, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.ones(shape, dtype=DEFAULT_DTYPE), requires_grad=requires_grad)
+
+    # ------------------------------------------------------------------
+    # Additional elementwise ops
+    # ------------------------------------------------------------------
+    def clip(self, low: float | None = None, high: float | None = None) -> "Tensor":
+        """Clamp values to ``[low, high]``; gradient is zero outside the range."""
+        if low is None and high is None:
+            raise ValueError("clip needs at least one bound")
+        out_data = np.clip(self.data, low, high)
+        inside = np.ones_like(self.data, dtype=bool)
+        if low is not None:
+            inside &= self.data > low
+        if high is not None:
+            inside &= self.data < high
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * inside)
+
+        return Tensor._make(out_data, (self,), backward, "clip")
+
+    def softplus(self) -> "Tensor":
+        """``log(1 + exp(x))``, computed stably; derivative is sigmoid(x)."""
+        x = self.data
+        out_data = (np.maximum(x, 0.0) + np.log1p(np.exp(-np.abs(x)))).astype(x.dtype)
+        exp_neg_abs = np.exp(-np.abs(x))
+        sig = np.where(x >= 0, 1.0 / (1.0 + exp_neg_abs), exp_neg_abs / (1.0 + exp_neg_abs))
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * sig)
+
+        return Tensor._make(out_data, (self,), backward, "softplus")
+
+    def gelu(self) -> "Tensor":
+        """Gaussian error linear unit (tanh approximation)."""
+        x = self.data
+        c = np.sqrt(2.0 / np.pi).astype(np.float32)
+        inner = c * (x + 0.044715 * x**3)
+        t = np.tanh(inner)
+        out_data = (0.5 * x * (1.0 + t)).astype(x.dtype)
+        # d/dx [0.5 x (1 + tanh(u))] = 0.5 (1 + t) + 0.5 x (1 - t^2) u'
+        du = c * (1.0 + 3 * 0.044715 * x**2)
+        local = 0.5 * (1.0 + t) + 0.5 * x * (1.0 - t**2) * du
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * local)
+
+        return Tensor._make(out_data, (self,), backward, "gelu")
+
+    def min(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Minimum reduction (ties split their gradient, like :meth:`max`)."""
+        return -((-self).max(axis=axis, keepdims=keepdims))
+
+    def pad_axis(self, axis: int, before: int = 0, after: int = 0) -> "Tensor":
+        """Zero-pad one axis; gradient slices the padding back off."""
+        if before < 0 or after < 0:
+            raise ValueError("padding must be non-negative")
+        widths = [(0, 0)] * self.ndim
+        widths[axis] = (before, after)
+        out_data = np.pad(self.data, widths)
+        length = self.shape[axis]
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                slicer = [slice(None)] * grad.ndim
+                slicer[axis] = slice(before, before + length)
+                self._accumulate(grad[tuple(slicer)])
+
+        return Tensor._make(out_data, (self,), backward, "pad")
+
+    def split(self, sections: int, axis: int = 0) -> list["Tensor"]:
+        """Split into ``sections`` equal chunks along ``axis``."""
+        length = self.shape[axis]
+        if length % sections != 0:
+            raise ValueError(f"axis of size {length} cannot split into {sections} equal parts")
+        step = length // sections
+        pieces = []
+        for i in range(sections):
+            slicer = [slice(None)] * self.ndim
+            slicer[axis] = slice(i * step, (i + 1) * step)
+            pieces.append(self[tuple(slicer)])
+        return pieces

@@ -1,0 +1,37 @@
+"""Training, evaluation, metrics and significance testing."""
+
+from .curriculum import CurriculumSchedule
+from .early_stopping import EarlyStopping
+from .evaluation import (
+    evaluate_horizons,
+    evaluate_per_node,
+    format_horizon_report,
+    horizon_curve,
+    predict_split,
+)
+from .metrics import HORIZONS, compute_all, masked_mae, masked_mape, masked_rmse
+from .significance import SignificanceResult, paired_t_test
+from .trainer import Trainer, TrainerConfig, TrainingHistory
+from .tuning import GridResult, grid_search
+
+__all__ = [
+    "CurriculumSchedule",
+    "EarlyStopping",
+    "HORIZONS",
+    "SignificanceResult",
+    "Trainer",
+    "TrainerConfig",
+    "TrainingHistory",
+    "compute_all",
+    "evaluate_horizons",
+    "evaluate_per_node",
+    "horizon_curve",
+    "format_horizon_report",
+    "GridResult",
+    "grid_search",
+    "masked_mae",
+    "masked_mape",
+    "masked_rmse",
+    "paired_t_test",
+    "predict_split",
+]

@@ -1,0 +1,53 @@
+"""Curriculum learning over forecast horizons (Sec. 5.4).
+
+Following DGCRN and MTGNN, training starts by supervising only the first
+forecast step and periodically widens the supervised horizon until the full
+``T_f`` steps contribute to the loss.  This eases optimisation of the
+auto-regressive forecast branches: early gradients are not dominated by the
+(initially hopeless) long horizons.
+"""
+
+from __future__ import annotations
+
+__all__ = ["CurriculumSchedule"]
+
+
+class CurriculumSchedule:
+    """Track the supervised horizon as training progresses.
+
+    Parameters
+    ----------
+    horizon:
+        Full forecast length ``T_f``.
+    step_every:
+        Number of *batches* between horizon increments.
+    enabled:
+        When False (the *w/o cl* ablation) the full horizon is supervised
+        from the first batch.
+    """
+
+    def __init__(self, horizon: int, step_every: int = 16, enabled: bool = True) -> None:
+        if horizon < 1:
+            raise ValueError("horizon must be >= 1")
+        if step_every < 1:
+            raise ValueError("step_every must be >= 1")
+        self.horizon = horizon
+        self.step_every = step_every
+        self.enabled = enabled
+        self._batches = 0
+
+    @property
+    def active_horizon(self) -> int:
+        """How many forecast steps the loss currently covers."""
+        if not self.enabled:
+            return self.horizon
+        return min(self.horizon, 1 + self._batches // self.step_every)
+
+    @property
+    def saturated(self) -> bool:
+        return self.active_horizon >= self.horizon
+
+    def step(self) -> int:
+        """Advance by one batch; returns the horizon for the *next* batch."""
+        self._batches += 1
+        return self.active_horizon

@@ -1,0 +1,37 @@
+"""Early stopping on validation loss (Sec. 6.1: "we employ early stopping")."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["EarlyStopping"]
+
+
+class EarlyStopping:
+    """Stop when validation loss has not improved for ``patience`` epochs.
+
+    Also keeps a copy of the best parameter snapshot so training can restore
+    the best model rather than the last one.
+    """
+
+    def __init__(self, patience: int = 10, min_delta: float = 0.0) -> None:
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        self.patience = patience
+        self.min_delta = min_delta
+        self.best_loss = float("inf")
+        self.best_state: dict[str, np.ndarray] | None = None
+        self.bad_epochs = 0
+
+    def update(self, loss: float, state: dict[str, np.ndarray]) -> bool:
+        """Record an epoch result; returns True when training should stop."""
+        if not np.isfinite(loss):
+            self.bad_epochs += 1
+            return self.bad_epochs >= self.patience
+        if loss < self.best_loss - self.min_delta:
+            self.best_loss = loss
+            self.best_state = state
+            self.bad_epochs = 0
+            return False
+        self.bad_epochs += 1
+        return self.bad_epochs >= self.patience

@@ -1,0 +1,55 @@
+"""Evaluation metrics (paper Eq. 17): masked MAE, RMSE and MAPE.
+
+All metrics ignore entries where the ground truth equals the null value
+(zero) — the convention for traffic data, where zeros encode sensor
+failures, used by DCRNN, Graph WaveNet and D2STGNN alike.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["masked_mae", "masked_rmse", "masked_mape", "compute_all", "HORIZONS"]
+
+HORIZONS = (3, 6, 12)  # 15 min / 30 min / 1 hour at 5-minute sampling
+
+
+def _mask(target: np.ndarray, null_value: float | None) -> np.ndarray:
+    if null_value is None:
+        return np.ones_like(target, dtype=bool)
+    return ~np.isclose(target, null_value)
+
+
+def masked_mae(prediction: np.ndarray, target: np.ndarray, null_value: float | None = 0.0) -> float:
+    """Mean absolute error over non-null target entries."""
+    mask = _mask(target, null_value)
+    if not mask.any():
+        return float("nan")
+    return float(np.abs(prediction[mask] - target[mask]).mean())
+
+
+def masked_rmse(prediction: np.ndarray, target: np.ndarray, null_value: float | None = 0.0) -> float:
+    """Root mean squared error over non-null target entries."""
+    mask = _mask(target, null_value)
+    if not mask.any():
+        return float("nan")
+    return float(np.sqrt(np.square(prediction[mask] - target[mask]).mean()))
+
+
+def masked_mape(prediction: np.ndarray, target: np.ndarray, null_value: float | None = 0.0) -> float:
+    """Mean absolute percentage error, in percent."""
+    mask = _mask(target, null_value) & (np.abs(target) > 1e-4)
+    if not mask.any():
+        return float("nan")
+    return float((np.abs(prediction[mask] - target[mask]) / np.abs(target[mask])).mean() * 100.0)
+
+
+def compute_all(
+    prediction: np.ndarray, target: np.ndarray, null_value: float | None = 0.0
+) -> dict[str, float]:
+    """Return {"mae", "rmse", "mape"} for one prediction/target pair."""
+    return {
+        "mae": masked_mae(prediction, target, null_value),
+        "rmse": masked_rmse(prediction, target, null_value),
+        "mape": masked_mape(prediction, target, null_value),
+    }

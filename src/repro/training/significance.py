@@ -1,0 +1,55 @@
+"""Statistical significance testing between two forecasters.
+
+The paper marks improvements with * when a t-test over the experimental
+results gives p < 0.05 (Sec. 6.1).  We implement the per-sample paired
+version: absolute errors of the two models on identical test samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+__all__ = ["SignificanceResult", "paired_t_test"]
+
+
+@dataclass(frozen=True)
+class SignificanceResult:
+    statistic: float
+    p_value: float
+    mean_difference: float  # errors(candidate) - errors(baseline); negative = better
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        """True when the candidate's improvement is statistically significant."""
+        return self.p_value < alpha and self.mean_difference < 0
+
+
+def paired_t_test(
+    candidate_prediction: np.ndarray,
+    baseline_prediction: np.ndarray,
+    target: np.ndarray,
+    null_value: float | None = 0.0,
+) -> SignificanceResult:
+    """Paired t-test on per-sample masked absolute errors.
+
+    Samples are paired along the batch axis; errors are averaged within each
+    sample so that the pairs are independent draws of test windows.
+    """
+    if candidate_prediction.shape != baseline_prediction.shape != target.shape:
+        raise ValueError("prediction and target shapes must match")
+    mask = np.ones_like(target, dtype=bool)
+    if null_value is not None:
+        mask = ~np.isclose(target, null_value)
+    axes = tuple(range(1, target.ndim))
+    weights = mask.astype(np.float64)
+    denom = np.maximum(weights.sum(axis=axes), 1.0)
+    err_candidate = (np.abs(candidate_prediction - target) * weights).sum(axis=axes) / denom
+    err_baseline = (np.abs(baseline_prediction - target) * weights).sum(axis=axes) / denom
+    statistic, p_value = stats.ttest_rel(err_candidate, err_baseline)
+    return SignificanceResult(
+        statistic=float(statistic),
+        p_value=float(p_value),
+        mean_difference=float((err_candidate - err_baseline).mean()),
+    )

@@ -1,0 +1,180 @@
+"""Training loop for the neural forecasters.
+
+Implements the paper's recipe (Sec. 5.4, 6.1): Adam at lr 1e-3, masked MAE
+loss in original units, curriculum learning over horizons, gradient
+clipping, and early stopping on validation MAE.  The same trainer drives
+D2STGNN, all its ablation variants and every neural baseline — they share
+the ``model(x, tod, dow) -> (B, T_f, N, C)`` forward contract.
+
+Seq2seq baselines whose forward accepts ``targets``/``teacher_forcing``
+(DCRNN, DGCRN) can additionally be trained with scheduled sampling
+(``TrainerConfig(scheduled_sampling=True)``): the decoder consumes the
+ground truth of the previous step with a probability that decays linearly
+to zero over ``sampling_decay_batches`` — the original DCRNN recipe.
+"""
+
+from __future__ import annotations
+
+import inspect
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.datasets import ForecastingData
+from ..nn.module import Module
+from ..optim import Adam, StepLR, clip_grad_norm
+from ..tensor import Tensor, functional as F
+from .curriculum import CurriculumSchedule
+from .early_stopping import EarlyStopping
+from .evaluation import evaluate_horizons, predict_split
+from .metrics import masked_mae
+
+__all__ = ["TrainerConfig", "TrainingHistory", "Trainer"]
+
+
+@dataclass(frozen=True)
+class TrainerConfig:
+    """Hyper-parameters of one training run."""
+
+    epochs: int = 30
+    batch_size: int = 32
+    learning_rate: float = 0.001
+    weight_decay: float = 0.0
+    clip_norm: float = 5.0
+    curriculum: bool = True
+    curriculum_step: int = 8  # batches per horizon increment
+    patience: int = 10
+    lr_decay_epochs: int = 0  # 0 disables; else StepLR period (DCRNN-style)
+    lr_decay_gamma: float = 0.5
+    scheduled_sampling: bool = False  # DCRNN-style teacher forcing decay
+    sampling_decay_batches: int = 200  # batches until teacher forcing reaches 0
+    seed: int = 0
+    verbose: bool = False
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch record of a run."""
+
+    train_loss: list[float] = field(default_factory=list)
+    val_mae: list[float] = field(default_factory=list)
+    epoch_seconds: list[float] = field(default_factory=list)
+
+    @property
+    def epochs_run(self) -> int:
+        return len(self.train_loss)
+
+    @property
+    def mean_epoch_seconds(self) -> float:
+        return float(np.mean(self.epoch_seconds)) if self.epoch_seconds else 0.0
+
+
+class Trainer:
+    """Fit a forecaster on a :class:`~repro.data.ForecastingData` bundle."""
+
+    def __init__(self, model: Module, data: ForecastingData, config: TrainerConfig | None = None) -> None:
+        self.model = model
+        self.data = data
+        self.config = config or TrainerConfig()
+        self.optimizer = Adam(
+            model.parameters(),
+            lr=self.config.learning_rate,
+            weight_decay=self.config.weight_decay,
+        )
+        self.scheduler = (
+            StepLR(self.optimizer, self.config.lr_decay_epochs, self.config.lr_decay_gamma)
+            if self.config.lr_decay_epochs > 0
+            else None
+        )
+        self.history = TrainingHistory()
+        self._batches_seen = 0
+        self._supports_sampling = self.config.scheduled_sampling and (
+            "teacher_forcing" in inspect.signature(model.forward).parameters
+        )
+
+    # ------------------------------------------------------------------
+    def _teacher_forcing_ratio(self) -> float:
+        """Linear decay from 1 to 0 over ``sampling_decay_batches``."""
+        decay = self.config.sampling_decay_batches
+        return max(0.0, 1.0 - self._batches_seen / max(1, decay))
+
+    def _loss(self, batch, active_horizon: int) -> Tensor:
+        """Masked MAE in original units over the curriculum-active horizon."""
+        scaler = self.data.scaler
+        if self._supports_sampling:
+            prediction = self.model(
+                batch.x,
+                batch.tod,
+                batch.dow,
+                targets=scaler.transform(batch.y),
+                teacher_forcing=self._teacher_forcing_ratio(),
+            )
+        else:
+            prediction = self.model(batch.x, batch.tod, batch.dow)
+        self._batches_seen += 1
+        prediction = prediction * scaler.std + scaler.mean
+        target = Tensor(batch.y[:, :active_horizon])
+        return F.masked_mae_loss(prediction[:, :active_horizon], target)
+
+    def train(self) -> TrainingHistory:
+        """Run the full loop; restores the best-validation parameters."""
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        horizon = self.data.windows.horizon
+        curriculum = CurriculumSchedule(
+            horizon, step_every=cfg.curriculum_step, enabled=cfg.curriculum
+        )
+        stopper = EarlyStopping(patience=cfg.patience)
+
+        for epoch in range(cfg.epochs):
+            start = time.perf_counter()
+            self.model.train()
+            losses = []
+            loader = self.data.loader("train", batch_size=cfg.batch_size, shuffle=True, rng=rng)
+            for batch in loader:
+                self.optimizer.zero_grad()
+                loss = self._loss(batch, curriculum.active_horizon)
+                loss.backward()
+                clip_grad_norm(self.model.parameters(), cfg.clip_norm)
+                self.optimizer.step()
+                losses.append(loss.item())
+                curriculum.step()
+            elapsed = time.perf_counter() - start
+            if self.scheduler is not None:
+                self.scheduler.step()
+
+            self.model.eval()
+            val_mae = self.validate()
+            self.history.train_loss.append(float(np.mean(losses)))
+            self.history.val_mae.append(val_mae)
+            self.history.epoch_seconds.append(elapsed)
+            if cfg.verbose:
+                print(
+                    f"epoch {epoch + 1:3d}  loss {np.mean(losses):8.4f}  "
+                    f"val MAE {val_mae:8.4f}  ({elapsed:.1f}s)"
+                )
+            if stopper.update(val_mae, self.model.state_dict()):
+                break
+
+        if stopper.best_state is not None:
+            self.model.load_state_dict(stopper.best_state)
+        return self.history
+
+    # ------------------------------------------------------------------
+    def validate(self) -> float:
+        """Masked MAE on the validation split (the early-stopping signal)."""
+        prediction, target = predict_split(self.model, self.data, split="val")
+        return masked_mae(prediction, target)
+
+    def evaluate(self, split: str = "test") -> dict[str, dict[str, float]]:
+        """Horizon-wise test metrics of the (best) trained model."""
+        self.model.eval()
+        prediction, target = predict_split(self.model, self.data, split=split)
+        return evaluate_horizons(prediction, target)

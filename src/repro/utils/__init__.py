@@ -1,0 +1,20 @@
+"""Seeding, timing and reporting utilities."""
+
+from .ascii_plot import bar_chart, side_by_side, sparkline
+from .checkpoint import CheckpointError, load_checkpoint, save_checkpoint
+from .seed import get_rng, set_seed, spawn_rng
+from .timer import StopwatchStats, Timer
+
+__all__ = [
+    "CheckpointError",
+    "bar_chart",
+    "side_by_side",
+    "sparkline",
+    "StopwatchStats",
+    "Timer",
+    "get_rng",
+    "load_checkpoint",
+    "save_checkpoint",
+    "set_seed",
+    "spawn_rng",
+]

@@ -1,0 +1,60 @@
+"""Terminal plotting: sparklines and bar charts.
+
+matplotlib is unavailable offline, so the visual benchmarks (Figures 6-8)
+and examples render their figures as text.  Kept deliberately tiny — these
+are reporting aids, not a plotting library.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["sparkline", "bar_chart", "side_by_side"]
+
+_LEVELS = " .:-=+*#%@"
+
+
+def sparkline(series, lo: float | None = None, hi: float | None = None) -> str:
+    """Render a 1-D series as a density string.
+
+    ``lo``/``hi`` pin the value range (useful to share a scale across
+    several lines); they default to the series' own range.
+    """
+    values = np.asarray(series, dtype=np.float64)
+    if values.ndim != 1:
+        raise ValueError(f"sparkline takes a 1-D series, got shape {values.shape}")
+    if values.size == 0:
+        return ""
+    lo = float(values.min()) if lo is None else lo
+    hi = float(values.max()) if hi is None else hi
+    span = (hi - lo) or 1.0
+    clipped = np.clip(values, lo, hi)
+    indices = ((clipped - lo) / span * (len(_LEVELS) - 1)).astype(int)
+    return "".join(_LEVELS[i] for i in indices)
+
+
+def bar_chart(values: dict[str, float], width: int = 40, unit: str = "") -> str:
+    """Render a {label: value} mapping as horizontal bars, sorted ascending."""
+    if not values:
+        return ""
+    scale = max(abs(v) for v in values.values()) or 1.0
+    label_width = max(len(k) for k in values)
+    lines = []
+    for label, value in sorted(values.items(), key=lambda kv: kv[1]):
+        bar = "#" * max(1, int(width * abs(value) / scale))
+        lines.append(f"{label:<{label_width}}  {bar} {value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def side_by_side(labelled_series: dict[str, np.ndarray], lo=None, hi=None) -> str:
+    """Render several series on a shared scale, one sparkline per line."""
+    if not labelled_series:
+        return ""
+    stacked = np.concatenate([np.asarray(v, dtype=np.float64) for v in labelled_series.values()])
+    lo = float(stacked.min()) if lo is None else lo
+    hi = float(stacked.max()) if hi is None else hi
+    label_width = max(len(k) for k in labelled_series)
+    return "\n".join(
+        f"{label:<{label_width}} {sparkline(series, lo, hi)}"
+        for label, series in labelled_series.items()
+    )

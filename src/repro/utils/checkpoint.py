@@ -1,0 +1,90 @@
+"""Model checkpointing: save/load parameters and configuration.
+
+A checkpoint is a single ``.npz`` file holding every named parameter plus a
+JSON-encoded metadata blob (model class name, config dict, library version),
+so a trained forecaster can be shipped and reloaded without pickling code.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..nn.module import Module
+
+__all__ = ["save_checkpoint", "load_checkpoint", "CheckpointError"]
+
+_META_KEY = "__checkpoint_meta__"
+_FORMAT_VERSION = 1
+
+
+class CheckpointError(RuntimeError):
+    """Raised when a checkpoint file is malformed or incompatible."""
+
+
+def _config_to_dict(config) -> dict | None:
+    if config is None:
+        return None
+    if dataclasses.is_dataclass(config):
+        return dataclasses.asdict(config)
+    if isinstance(config, dict):
+        return config
+    raise TypeError(f"config must be a dataclass or dict, got {type(config)!r}")
+
+
+def save_checkpoint(path: str | Path, model: Module, config=None, extra: dict | None = None) -> Path:
+    """Write ``model``'s parameters (and optional config/extra metadata) to ``path``.
+
+    ``config`` may be a dataclass (e.g. :class:`~repro.core.D2STGNNConfig`)
+    or a plain dict; ``extra`` is free-form JSON-serialisable metadata
+    (training metrics, dataset name, ...).
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    state = model.state_dict()
+    if _META_KEY in state:
+        raise CheckpointError(f"parameter name collides with reserved key {_META_KEY}")
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "model_class": type(model).__name__,
+        "config": _config_to_dict(config),
+        "extra": extra or {},
+        "num_parameters": int(sum(v.size for v in state.values())),
+    }
+    arrays = dict(state)
+    arrays[_META_KEY] = np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_checkpoint(path: str | Path, model: Module | None = None) -> dict:
+    """Read a checkpoint.
+
+    Returns ``{"state": {...}, "meta": {...}}``.  When ``model`` is given its
+    parameters are loaded in place (shapes are validated by
+    :meth:`~repro.nn.Module.load_state_dict`).
+    """
+    path = Path(path)
+    if not path.exists():
+        raise CheckpointError(f"no checkpoint at {path}")
+    with np.load(path) as archive:
+        if _META_KEY not in archive:
+            raise CheckpointError(f"{path} is not a repro checkpoint (missing metadata)")
+        meta = json.loads(bytes(archive[_META_KEY].tobytes()).decode("utf-8"))
+        if meta.get("format_version") != _FORMAT_VERSION:
+            raise CheckpointError(
+                f"unsupported checkpoint format {meta.get('format_version')!r}"
+            )
+        state = {k: archive[k] for k in archive.files if k != _META_KEY}
+    if model is not None:
+        if meta["model_class"] != type(model).__name__:
+            raise CheckpointError(
+                f"checkpoint holds a {meta['model_class']}, not a {type(model).__name__}"
+            )
+        model.load_state_dict(state)
+    return {"state": state, "meta": meta}

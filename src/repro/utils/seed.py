@@ -1,0 +1,35 @@
+"""Global random-state management.
+
+Every stochastic component in the library (parameter initialisation, dropout,
+the traffic simulator, data shuffling) draws from generators seeded through
+:func:`set_seed`, so a run is reproducible end to end from a single call.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["set_seed", "get_rng", "spawn_rng"]
+
+_rng: np.random.Generator = np.random.default_rng(0)
+
+
+def set_seed(seed: int) -> None:
+    """Seed the library-wide random generator."""
+    global _rng
+    _rng = np.random.default_rng(seed)
+
+
+def get_rng() -> np.random.Generator:
+    """Return the library-wide random generator."""
+    return _rng
+
+
+def spawn_rng() -> np.random.Generator:
+    """Return an independent generator split off the global one.
+
+    Useful for components (e.g. the data simulator) that must not perturb the
+    stream used for parameter initialisation.
+    """
+    seed = int(_rng.integers(0, 2**63 - 1))
+    return np.random.default_rng(seed)

@@ -1,0 +1,56 @@
+"""Wall-clock timing helpers used by the efficiency experiment (Fig. 6)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Timer", "StopwatchStats"]
+
+
+@dataclass
+class StopwatchStats:
+    """Accumulated timing statistics over repeated laps."""
+
+    count: int = 0
+    total: float = 0.0
+    laps: list[float] = field(default_factory=list)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def minimum(self) -> float:
+        return min(self.laps) if self.laps else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return max(self.laps) if self.laps else 0.0
+
+
+class Timer:
+    """Context-manager stopwatch that accumulates laps.
+
+    >>> timer = Timer()
+    >>> with timer:
+    ...     pass
+    >>> timer.stats.count
+    1
+    """
+
+    def __init__(self) -> None:
+        self.stats = StopwatchStats()
+        self._start: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        assert self._start is not None
+        lap = time.perf_counter() - self._start
+        self.stats.count += 1
+        self.stats.total += lap
+        self.stats.laps.append(lap)
+        self._start = None

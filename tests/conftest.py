@@ -1,0 +1,36 @@
+"""Shared fixtures: small deterministic datasets reused across test modules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import build_forecasting_data, load_dataset
+from repro.utils.seed import set_seed
+
+
+@pytest.fixture(autouse=True)
+def _seed_everything():
+    """Every test starts from the same global RNG state."""
+    set_seed(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A small speed dataset shared by model/training tests (read-only)."""
+    return load_dataset("metr-la-sim", num_nodes=8, num_steps=420)
+
+
+@pytest.fixture(scope="session")
+def tiny_data(tiny_dataset):
+    return build_forecasting_data(tiny_dataset)
+
+
+@pytest.fixture(scope="session")
+def tiny_flow_dataset():
+    return load_dataset("pems08-sim", num_nodes=8, num_steps=420)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(7)

@@ -1,0 +1,139 @@
+"""The analysis package: gate profiles, residual flow, graph statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    adaptive_graph,
+    dynamic_graphs_at_hour,
+    gate_profile,
+    graph_stats,
+    residual_flow,
+    true_diffusion_share,
+)
+from repro.core import D2STGNN, D2STGNNConfig
+from repro.utils.seed import set_seed
+
+
+@pytest.fixture(scope="module")
+def model(tiny_data):
+    set_seed(0)
+    config = D2STGNNConfig(
+        num_nodes=tiny_data.dataset.num_nodes,
+        steps_per_day=tiny_data.steps_per_day,
+        hidden_dim=8, embed_dim=4, num_layers=2, num_heads=2, dropout=0.0,
+    )
+    return D2STGNN(config, tiny_data.adjacency)
+
+
+@pytest.fixture(scope="module")
+def gateless(tiny_data):
+    set_seed(0)
+    config = D2STGNNConfig(
+        num_nodes=tiny_data.dataset.num_nodes,
+        steps_per_day=tiny_data.steps_per_day,
+        hidden_dim=8, embed_dim=4, num_layers=1, num_heads=2, dropout=0.0,
+        use_gate=False,
+    )
+    return D2STGNN(config, tiny_data.adjacency)
+
+
+class TestGateProfile:
+    def test_shape_and_range(self, model, tiny_data):
+        profile = gate_profile(model)
+        assert profile.by_slot.shape == (
+            tiny_data.steps_per_day,
+            tiny_data.dataset.num_nodes,
+        )
+        lo, hi = profile.spread
+        assert 0.0 < lo <= hi < 1.0
+        assert lo <= profile.mean <= hi
+
+    def test_hourly_bins(self, model, tiny_data):
+        hourly = gate_profile(model).hourly(tiny_data.steps_per_day)
+        assert hourly.shape == (24,)
+        assert np.isfinite(hourly).all()
+
+    def test_requires_gate(self, gateless):
+        with pytest.raises(ValueError):
+            gate_profile(gateless)
+
+    def test_layer_selection(self, model):
+        a = gate_profile(model, layer=0).by_slot
+        b = gate_profile(model, layer=1).by_slot
+        assert not np.allclose(a, b)  # each layer has its own gate
+
+
+class TestResidualFlow:
+    def test_shape(self, model, tiny_data):
+        flow = residual_flow(model, tiny_data, batch_size=8)
+        assert flow.magnitudes.shape == (2, 4)
+        assert flow.num_layers == 2
+        assert np.isfinite(flow.magnitudes).all()
+        assert flow.final_residual() >= 0.0
+
+    def test_requires_decoupling(self, tiny_data):
+        set_seed(0)
+        config = D2STGNNConfig(
+            num_nodes=tiny_data.dataset.num_nodes,
+            steps_per_day=tiny_data.steps_per_day,
+            hidden_dim=8, embed_dim=4, num_layers=1, num_heads=2, dropout=0.0,
+            use_decouple=False,
+        )
+        coupled = D2STGNN(config, tiny_data.adjacency)
+        with pytest.raises(ValueError):
+            residual_flow(coupled, tiny_data)
+
+
+class TestGraphTools:
+    def test_graph_stats_fields(self, rng):
+        static = rng.uniform(0, 1, size=(5, 5)).astype(np.float32)
+        static = static / static.sum(axis=1, keepdims=True)
+        stats = graph_stats(static.copy(), static)
+        assert stats.mean_edge_retention == pytest.approx(1.0, rel=1e-5)
+        assert stats.row_entropy > 0
+        assert stats.total_mass == pytest.approx(5.0, rel=1e-4)
+
+    def test_graph_stats_requires_edges(self):
+        with pytest.raises(ValueError):
+            graph_stats(np.zeros((3, 3)), np.zeros((3, 3)))
+
+    def test_dynamic_graphs_at_hour(self, model, tiny_data):
+        graphs = dynamic_graphs_at_hour(model, tiny_data, hour=8, count=4)
+        n = tiny_data.dataset.num_nodes
+        assert graphs.shape[1:] == (n, n)
+        assert graphs.shape[0] >= 1
+        # Dynamic graphs respect the static skeleton (Eq. 14).
+        assert np.all(graphs[:, model.p_forward == 0] == 0)
+
+    def test_dynamic_graphs_requires_learner(self, tiny_data):
+        set_seed(0)
+        config = D2STGNNConfig(
+            num_nodes=tiny_data.dataset.num_nodes,
+            steps_per_day=tiny_data.steps_per_day,
+            hidden_dim=8, embed_dim=4, num_layers=1, num_heads=2, dropout=0.0,
+            use_dynamic_graph=False,
+        )
+        static_model = D2STGNN(config, tiny_data.adjacency)
+        with pytest.raises(ValueError):
+            dynamic_graphs_at_hour(static_model, tiny_data, hour=8)
+
+    def test_adaptive_graph(self, model, tiny_data):
+        p_apt = adaptive_graph(model)
+        n = tiny_data.dataset.num_nodes
+        assert p_apt.shape == (n, n)
+        np.testing.assert_allclose(p_apt.sum(axis=1), np.ones(n), rtol=1e-4)
+
+
+class TestTrueShare:
+    def test_simulated_share_in_range(self, tiny_dataset):
+        share = true_diffusion_share(tiny_dataset.series)
+        assert 0.0 < share < 1.0
+
+    def test_external_data_gives_nan(self):
+        from repro.data.io import dataset_from_arrays
+
+        dataset = dataset_from_arrays(
+            np.ones((50, 3), np.float32), np.ones((3, 3), np.float32)
+        )
+        assert np.isnan(true_diffusion_share(dataset.series))

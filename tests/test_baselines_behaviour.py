@@ -1,0 +1,187 @@
+"""Architecture-specific behavioural tests for each neural baseline.
+
+Beyond the shared contract tests, each baseline has one defining mechanism;
+these tests pin those mechanisms down.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ASTGCN,
+    DCRNN,
+    DGCRN,
+    FCLSTM,
+    GMAN,
+    MTGNN,
+    STSGCN,
+    GraphWaveNet,
+)
+from repro.baselines.mtgnn import GraphLearningLayer, MixHopPropagation
+from repro.tensor import Tensor
+
+N, T_H = 6, 12
+
+
+@pytest.fixture(scope="module")
+def adjacency():
+    rng = np.random.default_rng(5)
+    adj = (rng.uniform(size=(N, N)) > 0.45).astype(np.float32)
+    np.fill_diagonal(adj, 1.0)
+    return adj
+
+
+def batch(rng, b=2):
+    x = rng.normal(size=(b, T_H, N, 1)).astype(np.float32)
+    tod = rng.integers(0, 288, size=(b, T_H))
+    dow = rng.integers(0, 7, size=(b, T_H))
+    return x, tod, dow
+
+
+class TestFCLSTMBehaviour:
+    def test_nodes_fully_independent(self, rng):
+        """FC-LSTM has no graph: node i's forecast ignores node j entirely."""
+        model = FCLSTM(hidden_dim=8)
+        model.eval()
+        x, tod, dow = batch(rng, b=1)
+        out_a = model(x, tod, dow).numpy()
+        perturbed = x.copy()
+        perturbed[:, :, 0] += 10.0
+        out_b = model(perturbed, tod, dow).numpy()
+        np.testing.assert_allclose(out_a[:, :, 1:], out_b[:, :, 1:], atol=1e-5)
+
+
+class TestDCRNNBehaviour:
+    def test_spatial_information_flows(self, adjacency, rng):
+        """Unlike FC-LSTM, DCRNN diffuses: perturbing one node moves others."""
+        model = DCRNN(adjacency, hidden_dim=8)
+        model.eval()
+        x, tod, dow = batch(rng, b=1)
+        out_a = model(x, tod, dow).numpy()
+        perturbed = x.copy()
+        perturbed[:, :, 0] += 10.0
+        out_b = model(perturbed, tod, dow).numpy()
+        assert np.abs(out_a[:, :, 1:] - out_b[:, :, 1:]).max() > 1e-4
+
+    def test_encoder_state_feeds_decoder(self, adjacency, rng):
+        """Different histories must produce different decoder outputs."""
+        model = DCRNN(adjacency, hidden_dim=8)
+        model.eval()
+        x, tod, dow = batch(rng, b=1)
+        out_a = model(x, tod, dow).numpy()
+        out_b = model(x * 0.0, tod, dow).numpy()
+        assert not np.allclose(out_a, out_b)
+
+
+class TestGWNetBehaviour:
+    def test_adaptive_adjacency_is_distribution(self, adjacency):
+        model = GraphWaveNet(adjacency, hidden_dim=8)
+        adaptive = model._supports()[2].numpy()
+        np.testing.assert_allclose(adaptive.sum(axis=1), np.ones(N), rtol=1e-4)
+        assert np.all(adaptive >= 0)
+
+    def test_adaptive_adjacency_is_learned(self, adjacency, rng):
+        """Training must move the adaptive matrix (its embeddings get grads)."""
+        model = GraphWaveNet(adjacency, hidden_dim=8)
+        x, tod, dow = batch(rng)
+        model(x, tod, dow).sum().backward()
+        assert model.embed_source.grad is not None
+        assert model.embed_target.grad is not None
+
+
+class TestASTGCNBehaviour:
+    def test_attention_modulates_spatial_mixing(self, adjacency, rng):
+        """Two different inputs yield different spatial attention, so the
+        effective graph is input-dependent (unlike STGCN)."""
+        model = ASTGCN(adjacency, hidden_dim=8)
+        model.eval()
+        x1, tod, dow = batch(rng, b=1)
+        x2 = x1 + rng.normal(0, 1, size=x1.shape).astype(np.float32)
+        block = model.blocks[0]
+        h1 = model.input_projection(Tensor(x1))
+        h2 = model.input_projection(Tensor(x2))
+        s1 = block.spatial_attention(h1.mean(axis=1)).numpy()
+        s2 = block.spatial_attention(h2.mean(axis=1)).numpy()
+        assert not np.allclose(s1, s2)
+
+
+class TestSTSGCNBehaviour:
+    def test_window_consumption(self, adjacency, rng):
+        """Each synchronous layer shrinks the time axis by window - 1."""
+        model = STSGCN(adjacency, hidden_dim=8, num_layers=2, window=3)
+        layer = model.layers[0]
+        x = Tensor(rng.normal(size=(1, 8, N, 8)).astype(np.float32))
+        out = layer(x)
+        assert out.shape == (1, 8 - 3 + 1, N, 8)
+
+    def test_short_history_does_not_crash(self, adjacency, rng):
+        model = STSGCN(adjacency, hidden_dim=8, num_layers=4, window=3)
+        model.eval()
+        x = rng.normal(size=(1, 5, N, 1)).astype(np.float32)  # shrinks to 1 step
+        tod = rng.integers(0, 288, size=(1, 5))
+        dow = rng.integers(0, 7, size=(1, 5))
+        assert model(x, tod, dow).shape == (1, 12, N, 1)
+
+
+class TestGMANBehaviour:
+    def test_future_time_indices_wrap_midnight(self, rng):
+        model = GMAN(N, steps_per_day=288, hidden_dim=8, num_heads=2)
+        tod = np.full((1, T_H), 286)  # 23:50
+        dow = np.full((1, T_H), 3)  # Thursday
+        future_tod, future_dow = model._future_indices(tod, dow)
+        assert future_tod[0, 0] == 287
+        assert future_tod[0, 1] == 0  # midnight wrap
+        assert future_dow[0, 0] == 3
+        assert future_dow[0, 1] == 4  # Friday begins
+
+    def test_time_embeddings_condition_output(self, rng):
+        """Same history at different times of day forecasts differently."""
+        model = GMAN(N, steps_per_day=288, hidden_dim=8, num_heads=2)
+        model.eval()
+        x, _, _ = batch(rng, b=1)
+        tod_morning = np.arange(90, 90 + T_H)[None, :]
+        tod_night = np.arange(0, T_H)[None, :]
+        dow = np.full((1, T_H), 2)
+        out_a = model(x, tod_morning, dow).numpy()
+        out_b = model(x, tod_night, dow).numpy()
+        assert not np.allclose(out_a, out_b)
+
+
+class TestMTGNNBehaviour:
+    def test_learned_adjacency_is_uni_directional(self):
+        """MTGNN's scores are anti-symmetric before relu: A ⊙ A^T ≈ 0."""
+        layer = GraphLearningLayer(N, embed_dim=6)
+        adjacency = layer().numpy()
+        product = adjacency * adjacency.T
+        off_diag = product[~np.eye(N, dtype=bool)]
+        assert np.abs(off_diag).max() < 1e-5
+
+    def test_mixhop_keeps_hop_zero(self, rng):
+        """With β=1 propagation reduces to the identity on hop features."""
+        mix = MixHopPropagation(4, depth=2, beta=1.0)
+        x = Tensor(rng.normal(size=(2, N, 4)).astype(np.float32))
+        adjacency = Tensor(np.ones((N, N), np.float32) / N)
+        out = mix(x, adjacency)
+        # All hops equal x, so output == projection of [x, x, x].
+        stacked = Tensor.concatenate([x, x, x], axis=-1)
+        np.testing.assert_allclose(
+            out.numpy(), mix.projection(stacked).numpy(), rtol=1e-4, atol=1e-5
+        )
+
+
+class TestDGCRNBehaviour:
+    def test_dynamic_graph_depends_on_input(self, adjacency, rng):
+        model = DGCRN(adjacency, hidden_dim=8, dynamic=True)
+        x1 = Tensor(rng.normal(size=(1, N, 1)).astype(np.float32))
+        x2 = Tensor(rng.normal(size=(1, N, 1)).astype(np.float32))
+        h = Tensor.zeros((1, N, 8))
+        g1 = model.generator(x1, h).numpy()
+        g2 = model.generator(x2, h).numpy()
+        assert not np.allclose(g1, g2)
+
+    def test_generated_graph_is_row_stochastic(self, adjacency, rng):
+        model = DGCRN(adjacency, hidden_dim=8, dynamic=True)
+        x = Tensor(rng.normal(size=(2, N, 1)).astype(np.float32))
+        h = Tensor.zeros((2, N, 8))
+        graph = model.generator(x, h).numpy()
+        np.testing.assert_allclose(graph.sum(axis=-1), np.ones((2, N)), rtol=1e-4)

@@ -1,0 +1,144 @@
+"""Neural baselines: construction, forward contract, and trainability."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ASTGCN,
+    DCRNN,
+    DGCRN,
+    FCLSTM,
+    GMAN,
+    MTGNN,
+    STGCN,
+    STSGCN,
+    GraphWaveNet,
+    build_localized_st_graph,
+)
+from repro.baselines.common import CausalConv, GraphConv, cheb_polynomials
+from repro.graph import symmetric_normalized_laplacian
+from repro.optim import Adam
+from repro.tensor import Tensor, functional as F
+
+N, T_H, T_F = 6, 12, 12
+
+
+@pytest.fixture(scope="module")
+def adjacency():
+    rng = np.random.default_rng(2)
+    adj = (rng.uniform(size=(N, N)) > 0.5).astype(np.float32)
+    np.fill_diagonal(adj, 1.0)
+    return adj
+
+
+def make_models(adjacency):
+    return {
+        "FCLSTM": FCLSTM(hidden_dim=8),
+        "DCRNN": DCRNN(adjacency, hidden_dim=8),
+        "STGCN": STGCN(adjacency, hidden_dim=8),
+        "GWNet": GraphWaveNet(adjacency, hidden_dim=8),
+        "ASTGCN": ASTGCN(adjacency, hidden_dim=8),
+        "STSGCN": STSGCN(adjacency, hidden_dim=8),
+        "GMAN": GMAN(N, 288, hidden_dim=8, num_heads=2),
+        "MTGNN": MTGNN(N, hidden_dim=8),
+        "DGCRN": DGCRN(adjacency, hidden_dim=8),
+    }
+
+
+def batch(rng, b=2):
+    x = rng.normal(size=(b, T_H, N, 1)).astype(np.float32)
+    tod = rng.integers(0, 288, size=(b, T_H))
+    dow = rng.integers(0, 7, size=(b, T_H))
+    return x, tod, dow
+
+
+class TestForwardContract:
+    @pytest.mark.parametrize("name", sorted(make_models.__call__(np.eye(N, dtype=np.float32))))
+    def test_output_shape(self, adjacency, rng, name):
+        model = make_models(adjacency)[name]
+        x, tod, dow = batch(rng)
+        assert model(x, tod, dow).shape == (2, T_F, N, 1)
+
+    @pytest.mark.parametrize("name", ["DCRNN", "GWNet", "GMAN", "MTGNN", "DGCRN"])
+    def test_single_gradient_step_reduces_loss(self, adjacency, rng, name):
+        model = make_models(adjacency)[name]
+        x, tod, dow = batch(rng, b=4)
+        target = Tensor(np.zeros((4, T_F, N, 1), np.float32))
+        opt = Adam(model.parameters(), lr=0.01)
+        first = None
+        for _ in range(5):
+            opt.zero_grad()
+            loss = F.mse_loss(model(x, tod, dow), target)
+            loss.backward()
+            opt.step()
+            if first is None:
+                first = loss.item()
+        assert loss.item() < first
+
+
+class TestDGCRNVariants:
+    def test_static_variant_has_fewer_parameters(self, adjacency):
+        dynamic = DGCRN(adjacency, hidden_dim=8, dynamic=True)
+        static = DGCRN(adjacency, hidden_dim=8, dynamic=False)
+        assert static.num_parameters() < dynamic.num_parameters()
+
+    def test_static_variant_forward(self, adjacency, rng):
+        model = DGCRN(adjacency, hidden_dim=8, dynamic=False)
+        x, tod, dow = batch(rng)
+        assert model(x, tod, dow).shape == (2, T_F, N, 1)
+
+
+class TestGWNetVariants:
+    def test_without_adaptive_adjacency(self, adjacency, rng):
+        model = GraphWaveNet(adjacency, hidden_dim=8, adaptive=False)
+        x, tod, dow = batch(rng)
+        assert model(x, tod, dow).shape == (2, T_F, N, 1)
+        assert len(model._supports()) == 2
+
+
+class TestCommonBlocks:
+    def test_graph_conv_identity_support(self, rng):
+        conv = GraphConv(4, 4, num_supports=1, order=1)
+        x = Tensor(rng.normal(size=(2, N, 4)).astype(np.float32))
+        out = conv(x, [np.eye(N, dtype=np.float32)])
+        assert out.shape == (2, N, 4)
+
+    def test_graph_conv_validates_support_count(self, rng):
+        conv = GraphConv(4, 4, num_supports=2)
+        x = Tensor(rng.normal(size=(2, N, 4)).astype(np.float32))
+        with pytest.raises(ValueError):
+            conv(x, [np.eye(N, dtype=np.float32)])
+
+    def test_causal_conv_is_causal(self, rng):
+        conv = CausalConv(3, 3, dilation=2)
+        x = rng.normal(size=(1, 8, N, 3)).astype(np.float32)
+        out_a = conv(Tensor(x)).numpy()
+        perturbed = x.copy()
+        perturbed[:, 5:] += 10.0  # future change
+        out_b = conv(Tensor(perturbed)).numpy()
+        np.testing.assert_allclose(out_a[:, :5], out_b[:, :5], atol=1e-5)
+
+    def test_causal_conv_dilation_reach(self, rng):
+        conv = CausalConv(2, 2, dilation=3)
+        x = rng.normal(size=(1, 8, N, 2)).astype(np.float32)
+        out_a = conv(Tensor(x)).numpy()
+        perturbed = x.copy()
+        perturbed[:, 2] += 5.0
+        out_b = conv(Tensor(perturbed)).numpy()
+        changed = np.abs(out_a - out_b).sum(axis=(0, 2, 3)) > 1e-5
+        np.testing.assert_array_equal(np.nonzero(changed)[0], [2, 5])
+
+    def test_cheb_polynomials_structure(self, adjacency):
+        lap = symmetric_normalized_laplacian(np.maximum(adjacency, adjacency.T))
+        polys = cheb_polynomials(lap, 3)
+        assert len(polys) == 3
+        np.testing.assert_array_equal(polys[0], np.eye(N, dtype=np.float32))
+        scaled = lap - np.eye(N, dtype=np.float32)
+        np.testing.assert_allclose(polys[2], 2 * scaled @ scaled - np.eye(N), atol=1e-4)
+
+    def test_localized_st_graph_blocks(self, adjacency):
+        local = build_localized_st_graph(adjacency, window=3)
+        assert local.shape == (3 * N, 3 * N)
+        np.testing.assert_array_equal(local[:N, :N], adjacency)
+        np.testing.assert_array_equal(local[:N, N : 2 * N], np.eye(N, dtype=np.float32))
+        np.testing.assert_array_equal(local[:N, 2 * N :], np.zeros((N, N)))

@@ -1,0 +1,91 @@
+"""The command-line interface (driven in-process via cli.main)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_models_and_datasets(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "D2STGNN" in out
+        assert "metr-la-sim" in out
+        assert "statistical" in out
+
+
+class TestSimulate:
+    def test_writes_dataset_file(self, tmp_path, capsys):
+        out_file = tmp_path / "ds.npz"
+        code = main([
+            "simulate", "--dataset", "pems08-sim",
+            "--nodes", "6", "--steps", "400", "--out", str(out_file),
+        ])
+        assert code == 0
+        assert out_file.exists()
+        assert "6 nodes" in capsys.readouterr().out
+
+    def test_rejects_unknown_preset(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--dataset", "nope", "--out", "x.npz"])
+
+
+class TestTrainEvaluate:
+    def test_statistical_model_flow(self, tmp_path, capsys):
+        code = main([
+            "train", "--dataset", "metr-la-sim", "--model", "HA",
+            "--nodes", "6", "--steps", "420",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "horizon 3" in out
+
+    def test_neural_train_checkpoint_evaluate(self, tmp_path, capsys):
+        ds_file = tmp_path / "ds.npz"
+        ckpt = tmp_path / "model.npz"
+        main(["simulate", "--dataset", "metr-la-sim", "--nodes", "6",
+              "--steps", "420", "--out", str(ds_file)])
+        code = main([
+            "train", "--dataset", str(ds_file), "--model", "D2STGNN",
+            "--epochs", "1", "--hidden", "8", "--layers", "1",
+            "--checkpoint", str(ckpt),
+        ])
+        assert code == 0
+        assert ckpt.exists()
+        capsys.readouterr()
+        code = main(["evaluate", "--checkpoint", str(ckpt), "--dataset", str(ds_file)])
+        assert code == 0
+        assert "MAE" in capsys.readouterr().out
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["train", "--model", "NotAModel"])
+
+
+class TestExperiments:
+    def test_registry_lists_every_bench(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        for artifact in ("Table 2", "Table 3", "Table 4", "Table 5",
+                         "Figure 6", "Figure 7", "Figure 8"):
+            assert artifact in out
+
+    def test_registry_benches_exist_on_disk(self):
+        from pathlib import Path
+
+        from repro.experiments import EXPERIMENTS
+
+        root = Path(__file__).resolve().parent.parent
+        for spec in EXPERIMENTS.values():
+            assert (root / spec.bench).exists(), spec.bench
+
+    def test_get_experiment_validates(self):
+        import pytest as _pytest
+
+        from repro.experiments import get_experiment
+
+        assert get_experiment("table3").paper_artifact == "Table 3"
+        with _pytest.raises(KeyError):
+            get_experiment("table99")

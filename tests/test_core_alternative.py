@@ -1,0 +1,139 @@
+"""Alternative DSTF instantiations (framework pluggability, Sec. 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AttentionDiffusionBlock,
+    DSTFModel,
+    TCNInherentBlock,
+    build_dstf_model,
+)
+from repro.tensor import Tensor
+from repro.utils.seed import set_seed
+
+B, T, N, D = 2, 6, 5, 8
+
+
+@pytest.fixture()
+def adjacency(rng):
+    adj = rng.uniform(0, 1, size=(N, N)).astype(np.float32)
+    adj = (adj > 0.4) * adj
+    np.fill_diagonal(adj, 1.0)
+    return adj
+
+
+def latent(rng):
+    return Tensor(rng.normal(size=(B, T, N, D)).astype(np.float32), requires_grad=True)
+
+
+class TestAttentionDiffusion:
+    def test_block_contract(self, adjacency, rng):
+        block = AttentionDiffusionBlock(D, num_heads=2, horizon=3)
+        hidden, forecast, backcast = block(latent(rng), [adjacency])
+        assert hidden.shape == (B, T, N, D)
+        assert forecast.shape == (B, 3, N, D)
+        assert backcast.shape == (B, T, N, D)
+
+    def test_self_history_excluded(self, adjacency, rng):
+        """The framework invariant: a diffusion block must be structurally
+        blind to a node's own history, whatever its internals."""
+        block = AttentionDiffusionBlock(D, num_heads=2, horizon=2)
+        x = rng.normal(size=(1, T, N, D)).astype(np.float32)
+        node = 1
+        hidden_a, _, _ = block(Tensor(x), [adjacency])
+        perturbed = x.copy()
+        perturbed[:, :, node, :] += 10.0
+        hidden_b, _, _ = block(Tensor(perturbed), [adjacency])
+        np.testing.assert_allclose(
+            hidden_a.numpy()[:, :, node], hidden_b.numpy()[:, :, node], atol=1e-3
+        )
+
+    def test_non_edges_blocked(self, rng):
+        # A star graph: node 0 connects to everyone, others only to node 0.
+        star = np.zeros((N, N), dtype=np.float32)
+        star[0, :] = 1.0
+        star[:, 0] = 1.0
+        block = AttentionDiffusionBlock(D, num_heads=2, horizon=2)
+        x = rng.normal(size=(1, T, N, D)).astype(np.float32)
+        hidden_a, _, _ = block(Tensor(x), [star])
+        perturbed = x.copy()
+        perturbed[:, :, 2, :] += 10.0  # node 2 only touches node 0
+        hidden_b, _, _ = block(Tensor(perturbed), [star])
+        # Nodes 1, 3, 4 cannot see node 2 directly: unchanged.
+        for other in (1, 3, 4):
+            np.testing.assert_allclose(
+                hidden_a.numpy()[:, :, other], hidden_b.numpy()[:, :, other], atol=1e-3
+            )
+        # Node 0 does see it.
+        assert np.abs(hidden_a.numpy()[:, :, 0] - hidden_b.numpy()[:, :, 0]).max() > 1e-3
+
+    def test_edgeless_support_rejected(self, rng):
+        block = AttentionDiffusionBlock(D, num_heads=2, horizon=2)
+        with pytest.raises(ValueError):
+            block(latent(rng), [np.eye(N, dtype=np.float32)])  # only self-loops
+
+    def test_direct_forecast_mode(self, adjacency, rng):
+        block = AttentionDiffusionBlock(D, num_heads=2, horizon=5, autoregressive=False)
+        _, forecast, _ = block(latent(rng), [adjacency])
+        assert forecast.shape == (B, 5, N, D)
+
+
+class TestTCNInherent:
+    def test_block_contract(self, rng):
+        block = TCNInherentBlock(D, horizon=4)
+        hidden, forecast, backcast = block(latent(rng))
+        assert hidden.shape == (B, T, N, D)
+        assert forecast.shape == (B, 4, N, D)
+        assert backcast.shape == (B, T, N, D)
+
+    def test_nodes_independent(self, rng):
+        block = TCNInherentBlock(D, horizon=2)
+        x = rng.normal(size=(1, T, N, D)).astype(np.float32)
+        hidden_a, _, _ = block(Tensor(x))
+        perturbed = x.copy()
+        perturbed[:, :, 0, :] += 10.0
+        hidden_b, _, _ = block(Tensor(perturbed))
+        np.testing.assert_allclose(
+            hidden_a.numpy()[:, :, 1:], hidden_b.numpy()[:, :, 1:], atol=1e-4
+        )
+
+    def test_causality(self, rng):
+        block = TCNInherentBlock(D, horizon=2)
+        x = rng.normal(size=(1, T, N, D)).astype(np.float32)
+        hidden_a, _, _ = block(Tensor(x))
+        perturbed = x.copy()
+        perturbed[:, T - 1] += 5.0  # change only the last step
+        hidden_b, _, _ = block(Tensor(perturbed))
+        np.testing.assert_allclose(
+            hidden_a.numpy()[:, : T - 1], hidden_b.numpy()[:, : T - 1], atol=1e-4
+        )
+
+
+class TestFactory:
+    @pytest.mark.parametrize("diffusion", ["localized-conv", "graph-attention"])
+    @pytest.mark.parametrize("inherent", ["gru-msa", "tcn"])
+    def test_all_combinations_run(self, adjacency, rng, diffusion, inherent):
+        set_seed(0)
+        model = build_dstf_model(
+            N, adjacency, diffusion=diffusion, inherent=inherent,
+            hidden_dim=8, embed_dim=4, num_layers=1, horizon=3,
+        )
+        x = rng.normal(size=(B, T, N, 1)).astype(np.float32)
+        tod = rng.integers(0, 288, size=(B, T))
+        dow = rng.integers(0, 7, size=(B, T))
+        out = model(x, tod, dow)
+        assert out.shape == (B, 3, N, 1)
+        out.sum().backward()
+        assert any(p.grad is not None for p in model.parameters())
+
+    def test_unknown_names_rejected(self, adjacency):
+        with pytest.raises(KeyError):
+            build_dstf_model(N, adjacency, diffusion="fourier")
+        with pytest.raises(KeyError):
+            build_dstf_model(N, adjacency, inherent="kalman")
+
+    def test_is_a_module(self, adjacency):
+        model = build_dstf_model(N, adjacency, hidden_dim=8, embed_dim=4, num_layers=1)
+        assert isinstance(model, DSTFModel)
+        assert model.num_parameters() > 0

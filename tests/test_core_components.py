@@ -1,0 +1,236 @@
+"""Core components: estimation gate, diffusion block, inherent block, dynamic graph."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DiffusionBlock,
+    DynamicGraphLearner,
+    EstimationGate,
+    InherentBlock,
+    SpatialTemporalEmbeddings,
+)
+from repro.graph import (
+    forward_transition,
+    gaussian_kernel_adjacency,
+    generate_road_network,
+    shortest_path_distances,
+)
+from repro.tensor import Tensor
+
+B, T, N, D = 2, 6, 5, 8
+
+
+@pytest.fixture()
+def embeddings():
+    return SpatialTemporalEmbeddings(num_nodes=N, steps_per_day=288, dim=D)
+
+
+@pytest.fixture()
+def time_embs(embeddings, rng):
+    tod = rng.integers(0, 288, size=(B, T))
+    dow = rng.integers(0, 7, size=(B, T))
+    return embeddings.time_features(tod, dow)
+
+
+@pytest.fixture()
+def transition(rng):
+    net = generate_road_network(N, rng)
+    return forward_transition(
+        gaussian_kernel_adjacency(shortest_path_distances(net.distances))
+    )
+
+
+def latent(rng):
+    return Tensor(rng.normal(size=(B, T, N, D)).astype(np.float32), requires_grad=True)
+
+
+class TestEmbeddings:
+    def test_time_feature_shapes(self, time_embs):
+        t_day, t_week = time_embs
+        assert t_day.shape == (B, T, D)
+        assert t_week.shape == (B, T, D)
+
+    def test_adaptive_transition_row_stochastic(self, embeddings):
+        p = embeddings.adaptive_transition().numpy()
+        assert p.shape == (N, N)
+        np.testing.assert_allclose(p.sum(axis=-1), np.ones(N), rtol=1e-5)
+        assert np.all(p >= 0)
+
+    def test_adaptive_transition_has_gradient(self, embeddings):
+        embeddings.adaptive_transition().sum().backward()
+        assert embeddings.node_source.grad is not None
+        assert embeddings.node_target.grad is not None
+
+
+class TestEstimationGate:
+    def test_gate_values_in_unit_interval(self, embeddings, time_embs):
+        gate = EstimationGate(embed_dim=D, hidden_dim=D)
+        t_day, t_week = time_embs
+        values = gate.gate_values(
+            t_day, t_week, embeddings.node_source, embeddings.node_target
+        ).numpy()
+        assert values.shape == (B, T, N, 1)
+        assert np.all((values > 0.0) & (values < 1.0))
+
+    def test_forward_scales_input(self, embeddings, time_embs, rng):
+        gate = EstimationGate(embed_dim=D, hidden_dim=D)
+        t_day, t_week = time_embs
+        x = latent(rng)
+        gated = gate(x, t_day, t_week, embeddings.node_source, embeddings.node_target)
+        lam = gate.gate_values(t_day, t_week, embeddings.node_source, embeddings.node_target)
+        np.testing.assert_allclose(gated.numpy(), lam.numpy() * x.numpy(), rtol=1e-5)
+
+    def test_gradient_reaches_embeddings(self, embeddings, time_embs, rng):
+        gate = EstimationGate(embed_dim=D, hidden_dim=D)
+        t_day, t_week = time_embs
+        x = latent(rng)
+        gate(x, t_day, t_week, embeddings.node_source, embeddings.node_target).sum().backward()
+        assert embeddings.node_source.grad is not None
+
+
+class TestDiffusionBlock:
+    def test_output_shapes(self, transition, rng):
+        block = DiffusionBlock(D, num_supports=1, k_s=2, k_t=3, horizon=4)
+        hidden, forecast, backcast = block(latent(rng), [transition])
+        assert hidden.shape == (B, T, N, D)
+        assert forecast.shape == (B, 4, N, D)
+        assert backcast.shape == (B, T, N, D)
+
+    def test_support_count_validated(self, transition, rng):
+        block = DiffusionBlock(D, num_supports=2)
+        with pytest.raises(ValueError):
+            block(latent(rng), [transition])
+
+    def test_self_signal_excluded(self, transition, rng):
+        """The paper's core masking property (Eq. 4): a node's diffusion
+        hidden state must not depend on its *own* input series."""
+        block = DiffusionBlock(D, num_supports=1, k_s=2, k_t=2, horizon=2)
+        x = rng.normal(size=(1, T, N, D)).astype(np.float32)
+        node = 2
+        hidden_a, _, _ = block(Tensor(x), [transition])
+        perturbed = x.copy()
+        perturbed[:, :, node, :] += 10.0
+        hidden_b, _, _ = block(Tensor(perturbed), [transition])
+        np.testing.assert_allclose(
+            hidden_a.numpy()[:, :, node], hidden_b.numpy()[:, :, node], atol=1e-4
+        )
+        # ...but other nodes do see the change (it diffuses outward).
+        others = [i for i in range(N) if i != node and transition[i, node] > 0]
+        assert others, "test graph must connect the perturbed node"
+        diff = np.abs(hidden_a.numpy()[:, :, others] - hidden_b.numpy()[:, :, others])
+        assert diff.max() > 1e-3
+
+    def test_temporal_locality(self, transition, rng):
+        """Inputs older than k_t steps cannot reach the *current* hidden state
+        through the localized convolution (only earlier hidden states see them)."""
+        k_t = 2
+        block = DiffusionBlock(D, num_supports=1, k_s=1, k_t=k_t, horizon=2)
+        x = rng.normal(size=(1, T, N, D)).astype(np.float32)
+        hidden_a, _, _ = block(Tensor(x), [transition])
+        perturbed = x.copy()
+        perturbed[:, 0] += 5.0  # oldest step
+        hidden_b, _, _ = block(Tensor(perturbed), [transition])
+        # Hidden states at steps >= k_t are unaffected by step 0.
+        np.testing.assert_allclose(
+            hidden_a.numpy()[:, k_t:], hidden_b.numpy()[:, k_t:], atol=1e-4
+        )
+
+    def test_dynamic_support_accepted(self, rng):
+        block = DiffusionBlock(D, num_supports=1, k_s=2, k_t=2, horizon=3)
+        dyn = Tensor(rng.uniform(0, 1, size=(B, N, N)).astype(np.float32), requires_grad=True)
+        hidden, forecast, _ = block(latent(rng), [dyn])
+        assert hidden.shape == (B, T, N, D)
+        forecast.sum().backward()
+        assert dyn.grad is not None
+
+    def test_direct_forecast_mode(self, transition, rng):
+        block = DiffusionBlock(D, num_supports=1, horizon=5, autoregressive=False)
+        _, forecast, _ = block(latent(rng), [transition])
+        assert forecast.shape == (B, 5, N, D)
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            DiffusionBlock(D, num_supports=0)
+
+
+class TestInherentBlock:
+    def test_output_shapes(self, rng):
+        block = InherentBlock(D, num_heads=2, horizon=4)
+        hidden, forecast, backcast = block(latent(rng))
+        assert hidden.shape == (B, T, N, D)
+        assert forecast.shape == (B, 4, N, D)
+        assert backcast.shape == (B, T, N, D)
+
+    def test_nodes_processed_independently(self, rng):
+        """The inherent model must not mix information across nodes."""
+        block = InherentBlock(D, num_heads=2, horizon=2)
+        x = rng.normal(size=(1, T, N, D)).astype(np.float32)
+        hidden_a, forecast_a, _ = block(Tensor(x))
+        perturbed = x.copy()
+        perturbed[:, :, 0, :] += 10.0
+        hidden_b, forecast_b, _ = block(Tensor(perturbed))
+        np.testing.assert_allclose(
+            hidden_a.numpy()[:, :, 1:], hidden_b.numpy()[:, :, 1:], atol=1e-4
+        )
+        np.testing.assert_allclose(
+            forecast_a.numpy()[:, :, 1:], forecast_b.numpy()[:, :, 1:], atol=1e-4
+        )
+
+    def test_needs_at_least_one_submodule(self):
+        with pytest.raises(ValueError):
+            InherentBlock(D, use_gru=False, use_msa=False)
+
+    def test_wo_gru_variant(self, rng):
+        block = InherentBlock(D, num_heads=2, horizon=3, use_gru=False)
+        hidden, forecast, _ = block(latent(rng))
+        assert hidden.shape == (B, T, N, D)
+        assert forecast.shape == (B, 3, N, D)
+
+    def test_wo_msa_variant(self, rng):
+        block = InherentBlock(D, num_heads=2, horizon=3, use_msa=False)
+        hidden, _, _ = block(latent(rng))
+        assert hidden.shape == (B, T, N, D)
+
+    def test_direct_forecast_mode(self, rng):
+        block = InherentBlock(D, num_heads=2, horizon=6, autoregressive=False)
+        _, forecast, _ = block(latent(rng))
+        assert forecast.shape == (B, 6, N, D)
+
+
+class TestDynamicGraphLearner:
+    def test_shapes_and_masking(self, embeddings, time_embs, transition, rng):
+        learner = DynamicGraphLearner(history=T, hidden_dim=D, embed_dim=D)
+        t_day, t_week = time_embs
+        p_f, p_b = learner(
+            latent(rng), t_day, t_week,
+            embeddings.node_source, embeddings.node_target,
+            transition, transition.T.copy(),
+        )
+        assert p_f.shape == (B, N, N)
+        assert p_b.shape == (B, N, N)
+        # Dynamic graph can only *modulate* existing edges (Eq. 14):
+        # zero static entries stay zero.
+        static_zero = transition == 0
+        assert np.all(p_f.numpy()[:, static_zero] == 0.0)
+
+    def test_depends_on_input(self, embeddings, time_embs, transition, rng):
+        learner = DynamicGraphLearner(history=T, hidden_dim=D, embed_dim=D)
+        t_day, t_week = time_embs
+        args = (t_day, t_week, embeddings.node_source, embeddings.node_target,
+                transition, transition.T.copy())
+        p1, _ = learner(latent(rng), *args)
+        p2, _ = learner(latent(rng), *args)
+        assert not np.allclose(p1.numpy(), p2.numpy())
+
+    def test_gradients_flow(self, embeddings, time_embs, transition, rng):
+        learner = DynamicGraphLearner(history=T, hidden_dim=D, embed_dim=D)
+        t_day, t_week = time_embs
+        x = latent(rng)
+        p_f, _ = learner(
+            x, t_day, t_week, embeddings.node_source, embeddings.node_target,
+            transition, transition.T.copy(),
+        )
+        p_f.sum().backward()
+        assert x.grad is not None
+        assert embeddings.node_source.grad is not None

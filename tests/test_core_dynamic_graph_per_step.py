@@ -1,0 +1,106 @@
+"""The per-step dynamic graph extension (exact variant of Sec. 5.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import D2STGNN, D2STGNNConfig, DynamicGraphLearner, SpatialTemporalEmbeddings
+from repro.tensor import Tensor
+
+B, T, N, D = 2, 6, 5, 8
+
+
+@pytest.fixture()
+def setup(rng):
+    embeddings = SpatialTemporalEmbeddings(num_nodes=N, steps_per_day=288, dim=D)
+    tod = rng.integers(0, 288, size=(B, T))
+    dow = rng.integers(0, 7, size=(B, T))
+    t_day, t_week = embeddings.time_features(tod, dow)
+    transition = rng.uniform(0, 1, size=(N, N)).astype(np.float32)
+    transition = transition / transition.sum(axis=1, keepdims=True)
+    x = Tensor(rng.normal(size=(B, T, N, D)).astype(np.float32), requires_grad=True)
+    return embeddings, t_day, t_week, transition, x
+
+
+class TestPerStepLearner:
+    def test_shapes(self, setup):
+        embeddings, t_day, t_week, transition, x = setup
+        learner = DynamicGraphLearner(history=T, hidden_dim=D, embed_dim=D, per_step=True)
+        p_f, p_b = learner(
+            x, t_day, t_week, embeddings.node_source, embeddings.node_target,
+            transition, transition.T.copy(),
+        )
+        assert p_f.shape == (B, T, N, N)
+        assert p_b.shape == (B, T, N, N)
+
+    def test_graphs_vary_across_steps(self, setup):
+        embeddings, t_day, t_week, transition, x = setup
+        learner = DynamicGraphLearner(history=T, hidden_dim=D, embed_dim=D, per_step=True)
+        p_f, _ = learner(
+            x, t_day, t_week, embeddings.node_source, embeddings.node_target,
+            transition, transition.T.copy(),
+        )
+        values = p_f.numpy()
+        assert not np.allclose(values[:, 0], values[:, T - 1])
+
+    def test_static_zero_edges_stay_zero(self, setup):
+        embeddings, t_day, t_week, transition, x = setup
+        transition = transition.copy()
+        transition[0, :] = 0.0
+        learner = DynamicGraphLearner(history=T, hidden_dim=D, embed_dim=D, per_step=True)
+        p_f, _ = learner(
+            x, t_day, t_week, embeddings.node_source, embeddings.node_target,
+            transition, transition.T.copy(),
+        )
+        np.testing.assert_array_equal(p_f.numpy()[:, :, 0, :], 0.0)
+
+    def test_gradients_flow(self, setup):
+        embeddings, t_day, t_week, transition, x = setup
+        learner = DynamicGraphLearner(history=T, hidden_dim=D, embed_dim=D, per_step=True)
+        p_f, _ = learner(
+            x, t_day, t_week, embeddings.node_source, embeddings.node_target,
+            transition, transition.T.copy(),
+        )
+        p_f.sum().backward()
+        assert x.grad is not None
+
+
+class TestPerStepModel:
+    @pytest.fixture()
+    def adjacency(self, rng):
+        adj = rng.uniform(0, 1, size=(N, N)).astype(np.float32)
+        np.fill_diagonal(adj, 1.0)
+        return adj
+
+    def test_forward_backward(self, adjacency, rng):
+        config = D2STGNNConfig(
+            num_nodes=N, steps_per_day=288, hidden_dim=8, embed_dim=4,
+            num_layers=1, num_heads=2, history=T, horizon=3, dropout=0.0,
+            dynamic_graph_per_step=True,
+        )
+        model = D2STGNN(config, adjacency)
+        x = rng.normal(size=(B, T, N, 1)).astype(np.float32)
+        tod = rng.integers(0, 288, size=(B, T))
+        dow = rng.integers(0, 7, size=(B, T))
+        out = model(x, tod, dow)
+        assert out.shape == (B, 3, N, 1)
+        out.sum().backward()
+        assert model.embeddings.node_source.grad is not None
+
+    def test_differs_from_per_window(self, adjacency, rng):
+        from repro.utils.seed import set_seed
+
+        x = rng.normal(size=(B, T, N, 1)).astype(np.float32)
+        tod = rng.integers(0, 288, size=(B, T))
+        dow = rng.integers(0, 7, size=(B, T))
+        outputs = []
+        for per_step in (False, True):
+            set_seed(9)
+            config = D2STGNNConfig(
+                num_nodes=N, steps_per_day=288, hidden_dim=8, embed_dim=4,
+                num_layers=1, num_heads=2, history=T, horizon=3, dropout=0.0,
+                dynamic_graph_per_step=per_step,
+            )
+            model = D2STGNN(config, adjacency)
+            model.eval()
+            outputs.append(model(x, tod, dow).numpy())
+        assert not np.allclose(outputs[0], outputs[1])

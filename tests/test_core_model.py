@@ -1,0 +1,171 @@
+"""The full D2STGNN model and all its ablation variants."""
+
+import numpy as np
+import pytest
+
+from repro.core import D2STGNN, D2STGNNConfig
+from repro.tensor import Tensor, functional as F
+
+
+@pytest.fixture(scope="module")
+def adjacency():
+    rng = np.random.default_rng(11)
+    adj = rng.uniform(0, 1, size=(6, 6)).astype(np.float32)
+    adj = (adj > 0.5) * adj
+    np.fill_diagonal(adj, 1.0)
+    return adj
+
+
+def make_model(adjacency, **overrides):
+    defaults = dict(
+        num_nodes=6, steps_per_day=288, hidden_dim=8, embed_dim=4,
+        num_layers=2, num_heads=2, history=6, horizon=4, dropout=0.0,
+    )
+    defaults.update(overrides)
+    return D2STGNN(D2STGNNConfig(**defaults), adjacency)
+
+
+def batch(rng, b=2, t=6, n=6, c=1):
+    x = rng.normal(size=(b, t, n, c)).astype(np.float32)
+    tod = rng.integers(0, 288, size=(b, t))
+    dow = rng.integers(0, 7, size=(b, t))
+    return x, tod, dow
+
+
+class TestConfigValidation:
+    def test_too_few_nodes(self):
+        with pytest.raises(ValueError):
+            D2STGNNConfig(num_nodes=1)
+
+    def test_heads_must_divide_hidden(self):
+        with pytest.raises(ValueError):
+            D2STGNNConfig(num_nodes=4, hidden_dim=10, num_heads=4)
+
+    def test_positive_sizes(self):
+        with pytest.raises(ValueError):
+            D2STGNNConfig(num_nodes=4, num_layers=0)
+
+    def test_adjacency_shape_checked(self, adjacency):
+        with pytest.raises(ValueError):
+            D2STGNN(D2STGNNConfig(num_nodes=9, hidden_dim=8, embed_dim=4, num_heads=2), adjacency)
+
+
+class TestForward:
+    def test_output_shape(self, adjacency, rng):
+        model = make_model(adjacency)
+        x, tod, dow = batch(rng)
+        assert model(x, tod, dow).shape == (2, 4, 6, 1)
+
+    def test_wrong_node_count_rejected(self, adjacency, rng):
+        model = make_model(adjacency)
+        x, tod, dow = batch(rng, n=5)
+        with pytest.raises(ValueError):
+            model(x, tod, dow)
+
+    def test_wrong_rank_rejected(self, adjacency, rng):
+        model = make_model(adjacency)
+        with pytest.raises(ValueError):
+            model(np.zeros((2, 6, 6), np.float32), *batch(rng)[1:])
+
+    def test_accepts_tensor_input(self, adjacency, rng):
+        model = make_model(adjacency)
+        x, tod, dow = batch(rng)
+        out = model(Tensor(x), tod, dow)
+        assert out.shape == (2, 4, 6, 1)
+
+    def test_deterministic_in_eval_mode(self, adjacency, rng):
+        model = make_model(adjacency, dropout=0.2)
+        model.eval()
+        x, tod, dow = batch(rng)
+        a = model(x, tod, dow).numpy()
+        b = model(x, tod, dow).numpy()
+        np.testing.assert_array_equal(a, b)
+
+    def test_dropout_randomises_training_mode(self, adjacency, rng):
+        model = make_model(adjacency, dropout=0.3)
+        model.train()
+        x, tod, dow = batch(rng)
+        a = model(x, tod, dow).numpy()
+        b = model(x, tod, dow).numpy()
+        assert not np.array_equal(a, b)
+
+    def test_all_parameters_receive_gradients_except_terminal_backcast(self, adjacency, rng):
+        model = make_model(adjacency)
+        x, tod, dow = batch(rng)
+        out = model(x, tod, dow)
+        F.mae_loss(out, Tensor(np.zeros_like(out.numpy()))).backward()
+        missing = [name for name, p in model.named_parameters() if p.grad is None]
+        # Only the final layer's inherent backcast feeds the discarded
+        # residual; everything else must train.
+        last = f"layers.{model.config.num_layers - 1}.inherent.backcast"
+        assert all(name.startswith(last) for name in missing), missing
+
+
+VARIANTS = {
+    "switch": dict(diffusion_first=False),
+    "wo_gate": dict(use_gate=False),
+    "wo_res": dict(use_residual=False),
+    "wo_decouple": dict(use_decouple=False),
+    "wo_dg": dict(use_dynamic_graph=False),
+    "wo_apt": dict(use_adaptive=False),
+    "wo_gru": dict(use_gru=False),
+    "wo_msa": dict(use_msa=False),
+    "wo_ar": dict(autoregressive=False),
+    "static_coupled": dict(use_dynamic_graph=False, use_decouple=False),
+}
+
+
+class TestVariants:
+    @pytest.mark.parametrize("name", sorted(VARIANTS))
+    def test_variant_forward_and_backward(self, adjacency, rng, name):
+        model = make_model(adjacency, **VARIANTS[name])
+        x, tod, dow = batch(rng)
+        out = model(x, tod, dow)
+        assert out.shape == (2, 4, 6, 1)
+        out.sum().backward()
+        trained = sum(1 for p in model.parameters() if p.grad is not None)
+        assert trained > 0
+
+    def test_wo_apt_has_fewer_supports(self, adjacency):
+        full = make_model(adjacency)
+        ablated = make_model(adjacency, use_adaptive=False)
+        assert ablated.num_parameters() < full.num_parameters()
+
+    def test_wo_dg_drops_graph_learner(self, adjacency):
+        model = make_model(adjacency, use_dynamic_graph=False)
+        assert not hasattr(model, "graph_learner")
+
+    def test_wo_decouple_has_no_gate_parameters(self, adjacency):
+        model = make_model(adjacency, use_decouple=False)
+        assert not any("gate" in name for name, _ in model.named_parameters())
+
+    def test_variants_differ_in_outputs(self, adjacency, rng):
+        x, tod, dow = batch(rng)
+        full = make_model(adjacency)
+        full.eval()
+        switched = make_model(adjacency, diffusion_first=False)
+        switched.eval()
+        assert not np.allclose(full(x, tod, dow).numpy(), switched(x, tod, dow).numpy())
+
+
+class TestSupports:
+    def test_full_model_uses_three_supports(self, adjacency, rng):
+        model = make_model(adjacency)
+        x, tod, dow = batch(rng)
+        t_day, t_week = model.embeddings.time_features(tod, dow)
+        latent = model.input_projection(Tensor(x))
+        supports = model._supports(latent, t_day, t_week)
+        assert len(supports) == 3
+        # Dynamic supports are per-sample tensors.
+        assert supports[0].shape == (2, 6, 6)
+        # Adaptive support is a shared (N, N) tensor.
+        assert supports[2].shape == (6, 6)
+
+    def test_static_model_uses_numpy_supports(self, adjacency, rng):
+        model = make_model(adjacency, use_dynamic_graph=False)
+        x, tod, dow = batch(rng)
+        t_day, t_week = model.embeddings.time_features(tod, dow)
+        latent = model.input_projection(Tensor(x))
+        supports = model._supports(latent, t_day, t_week)
+        assert isinstance(supports[0], np.ndarray)
+        assert isinstance(supports[1], np.ndarray)

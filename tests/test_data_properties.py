@@ -1,0 +1,99 @@
+"""Hypothesis property tests on the data substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    SimulationConfig,
+    SplitRatios,
+    StandardScaler,
+    WindowDataset,
+    chronological_split,
+    simulate_traffic,
+    time_indices,
+)
+from repro.graph import generate_road_network
+
+
+@given(
+    st.integers(min_value=10, max_value=3000),
+    st.sampled_from([48, 144, 288]),
+    st.integers(min_value=0, max_value=6),
+)
+@settings(max_examples=50, deadline=None)
+def test_time_indices_ranges(num_steps, steps_per_day, start_dow):
+    tod, dow = time_indices(num_steps, steps_per_day, start_dow)
+    assert tod.min() >= 0 and tod.max() < steps_per_day
+    assert dow.min() >= 0 and dow.max() < 7
+    assert dow[0] == start_dow
+    # tod advances by exactly 1 modulo steps_per_day.
+    np.testing.assert_array_equal(np.diff(tod) % steps_per_day, np.ones(num_steps - 1))
+
+
+@given(
+    st.floats(min_value=0.05, max_value=0.9),
+    st.floats(min_value=0.05, max_value=0.9),
+)
+@settings(max_examples=50, deadline=None)
+def test_chronological_split_partitions(train, val):
+    total = train + val
+    if total >= 0.95:
+        return  # leave room for a positive test share
+    ratios = SplitRatios(train=train, val=val, test=1.0 - total)
+    n = 1000
+    (a0, a1), (b0, b1), (c0, c1) = chronological_split(n, ratios)
+    # A partition: contiguous, ordered, covering [0, n).
+    assert a0 == 0 and c1 == n
+    assert a1 == b0 and b1 == c0
+    assert a0 < a1 <= b1 <= c1
+
+
+@given(st.integers(min_value=24, max_value=200), st.integers(min_value=1, max_value=12))
+@settings(max_examples=30, deadline=None)
+def test_window_count_formula(total, horizon):
+    history = 12
+    if total < history + horizon:
+        return
+    rng = np.random.default_rng(0)
+    values = rng.uniform(1, 5, size=(total, 2)).astype(np.float32)
+    tod, dow = time_indices(total, 288)
+    windows = WindowDataset(values, values, tod, dow, history=history, horizon=horizon)
+    assert len(windows) == total - history - horizon + 1
+    # First and last samples are valid and correctly aligned.
+    x0, y0, _, _ = windows.sample(0)
+    np.testing.assert_array_equal(y0[:, :, 0], values[history : history + horizon])
+    x_last, y_last, _, _ = windows.sample(len(windows) - 1)
+    np.testing.assert_array_equal(y_last[-1, :, 0], values[total - 1])
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=10, deadline=None)
+def test_simulator_superposition_and_bounds(seed):
+    rng = np.random.default_rng(seed)
+    network = generate_road_network(5, rng)
+    series = simulate_traffic(
+        network, 300, kind="speed",
+        config=SimulationConfig(failure_rate=0.0), rng=rng,
+    )
+    assert np.isfinite(series.values).all()
+    assert series.values.min() >= 0.0
+    assert series.values.max() <= series.config.speed_limit
+    assert series.inherent.min() >= 0.0
+    assert series.diffusion.min() >= 0.0
+
+
+@given(st.floats(min_value=-100, max_value=100), st.floats(min_value=0.1, max_value=50))
+@settings(max_examples=30, deadline=None)
+def test_scaler_is_affine(mean, std):
+    rng = np.random.default_rng(1)
+    values = (rng.normal(mean, std, size=200)).astype(np.float32)
+    scaler = StandardScaler(null_value=None).fit(values)
+    a = np.array([0.0, 1.0], dtype=np.float32)
+    b = np.array([2.0, -1.0], dtype=np.float32)
+    # transform(a + b) + transform(0) == transform(a) + transform(b) for an
+    # affine map f(x) = (x - m)/s  <=>  f(a+b) - f(a) - f(b) + f(0) == 0.
+    lhs = scaler.transform(a + b) - scaler.transform(a) - scaler.transform(b) + scaler.transform(
+        np.zeros(2, np.float32)
+    )
+    np.testing.assert_allclose(lhs, np.zeros(2), atol=1e-3)

@@ -1,0 +1,70 @@
+"""Scenario presets: each must produce its advertised characteristic."""
+
+import numpy as np
+import pytest
+
+from repro.data import SCENARIOS, scenario_config, simulate_traffic
+from repro.graph import generate_road_network
+
+
+@pytest.fixture(scope="module")
+def network():
+    return generate_road_network(8, np.random.default_rng(3))
+
+
+def run(network, name, steps=288 * 3, seed=11):
+    return simulate_traffic(
+        network, steps, kind="speed",
+        config=scenario_config(name), rng=np.random.default_rng(seed),
+    )
+
+
+class TestRegistry:
+    def test_unknown_scenario(self):
+        with pytest.raises(KeyError):
+            scenario_config("apocalypse")
+
+    def test_all_scenarios_generate(self, network):
+        for name in SCENARIOS:
+            series = run(network, name, steps=300)
+            assert np.isfinite(series.values).all()
+
+    def test_normal_matches_default(self):
+        from repro.data import SimulationConfig
+
+        assert scenario_config("normal") == SimulationConfig()
+
+
+class TestCharacteristics:
+    def test_incident_heavy_has_more_inherent_variance(self, network):
+        normal = run(network, "normal")
+        heavy = run(network, "incident-heavy")
+        assert heavy.inherent.var() > normal.inherent.var()
+
+    def test_diffusion_dominant_shifts_signal_shares(self, network):
+        from repro.analysis import true_diffusion_share
+
+        dominant = true_diffusion_share(run(network, "diffusion-dominant"))
+        isolated = true_diffusion_share(run(network, "isolated"))
+        assert dominant > 2.0 * isolated
+
+    def test_isolated_nearly_uncoupled(self, network):
+        series = run(network, "isolated")
+        total = series.diffusion + series.inherent
+        assert series.diffusion.sum() / total.sum() < 0.25
+
+    def test_flaky_sensors_fail_often(self, network):
+        normal = run(network, "normal")
+        flaky = run(network, "flaky-sensors")
+        assert flaky.failure_mask.mean() > 5.0 * max(normal.failure_mask.mean(), 1e-6)
+
+    def test_quiet_is_more_predictable_day_to_day(self, network):
+        def day_to_day_correlation(series):
+            steps = series.config.steps_per_day
+            day1 = series.values[:steps].mean(axis=1)
+            day2 = series.values[steps : 2 * steps].mean(axis=1)
+            return np.corrcoef(day1, day2)[0, 1]
+
+        assert day_to_day_correlation(run(network, "quiet")) > day_to_day_correlation(
+            run(network, "incident-heavy")
+        )

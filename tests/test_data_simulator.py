@@ -1,0 +1,160 @@
+"""The traffic simulator: superposition structure, periodicity, outages."""
+
+import numpy as np
+import pytest
+
+from repro.data import SimulationConfig, simulate_traffic, time_indices
+from repro.graph import generate_road_network
+
+
+@pytest.fixture(scope="module")
+def network():
+    return generate_road_network(10, np.random.default_rng(3))
+
+
+@pytest.fixture(scope="module")
+def speed_series(network):
+    return simulate_traffic(network, 900, kind="speed", rng=np.random.default_rng(4))
+
+
+@pytest.fixture(scope="module")
+def flow_series(network):
+    return simulate_traffic(network, 900, kind="flow", rng=np.random.default_rng(4))
+
+
+class TestTimeIndices:
+    def test_time_of_day_wraps(self):
+        tod, _ = time_indices(600, steps_per_day=288)
+        assert tod.max() == 287 and tod.min() == 0
+        assert tod[288] == 0
+
+    def test_day_of_week_advances(self):
+        _, dow = time_indices(288 * 8, steps_per_day=288, start_day_of_week=6)
+        assert dow[0] == 6
+        assert dow[288] == 0  # wraps Sunday -> Monday
+
+    def test_lengths(self):
+        tod, dow = time_indices(100, 288)
+        assert len(tod) == len(dow) == 100
+
+
+class TestStructure:
+    def test_shapes(self, speed_series, network):
+        t, n = 900, network.num_nodes
+        assert speed_series.values.shape == (t, n)
+        assert speed_series.inherent.shape == (t, n)
+        assert speed_series.diffusion.shape == (t, n)
+        assert speed_series.failure_mask.shape == (t, n)
+
+    def test_invalid_kind_rejected(self, network):
+        with pytest.raises(ValueError):
+            simulate_traffic(network, 100, kind="volume")
+
+    def test_both_components_contribute(self, speed_series):
+        # Neither hidden signal may be degenerate: the decoupling story
+        # requires a genuine superposition.
+        var_inherent = speed_series.inherent.var()
+        var_diffusion = speed_series.diffusion.var()
+        share = var_diffusion / (var_diffusion + var_inherent)
+        assert 0.15 < share < 0.9
+
+    def test_diffusion_nonnegative(self, speed_series):
+        assert np.all(speed_series.diffusion >= 0.0)
+
+    def test_determinism(self, network):
+        a = simulate_traffic(network, 300, rng=np.random.default_rng(9))
+        b = simulate_traffic(network, 300, rng=np.random.default_rng(9))
+        np.testing.assert_array_equal(a.values, b.values)
+
+    def test_diffusion_reacts_to_neighbours(self, network):
+        # Doubling the coupling must increase the diffusion component.
+        weak = simulate_traffic(
+            network, 600, config=SimulationConfig(coupling=0.2, failure_rate=0.0),
+            rng=np.random.default_rng(5),
+        )
+        strong = simulate_traffic(
+            network, 600, config=SimulationConfig(coupling=0.7, failure_rate=0.0),
+            rng=np.random.default_rng(5),
+        )
+        assert strong.diffusion.mean() > 2.0 * weak.diffusion.mean()
+
+
+class TestObservationMapping:
+    def test_speed_range(self, speed_series):
+        cfg = speed_series.config
+        assert speed_series.values.min() >= 0.0
+        assert speed_series.values.max() <= cfg.speed_limit
+
+    def test_flow_integer_counts(self, flow_series):
+        observed = flow_series.values[~flow_series.failure_mask]
+        np.testing.assert_array_equal(observed, np.round(observed))
+        assert observed.min() >= 0.0
+
+    def test_speed_drops_at_rush_hour(self, network):
+        series = simulate_traffic(
+            network, 288 * 3, kind="speed",
+            config=SimulationConfig(failure_rate=0.0), rng=np.random.default_rng(6),
+        )
+        hours = series.time_of_day / 288.0 * 24.0
+        rush = (hours >= 7.0) & (hours <= 9.0)
+        night = (hours >= 1.0) & (hours <= 4.0)
+        assert series.values[rush].mean() < series.values[night].mean()
+
+    def test_daily_periodicity(self, network):
+        series = simulate_traffic(
+            network, 288 * 4, kind="speed",
+            config=SimulationConfig(failure_rate=0.0, noise_scale=0.01),
+            rng=np.random.default_rng(7),
+        )
+        day = series.values[:288].mean(axis=1)
+        next_day = series.values[288 : 2 * 288].mean(axis=1)
+        correlation = np.corrcoef(day, next_day)[0, 1]
+        assert correlation > 0.8
+
+
+class TestFailures:
+    def test_outages_write_zeros(self, network):
+        series = simulate_traffic(
+            network, 2000, config=SimulationConfig(failure_rate=0.01),
+            rng=np.random.default_rng(8),
+        )
+        assert series.failure_mask.any()
+        np.testing.assert_array_equal(series.values[series.failure_mask], 0.0)
+
+    def test_failure_rate_zero_disables(self, network):
+        series = simulate_traffic(
+            network, 500, config=SimulationConfig(failure_rate=0.0),
+            rng=np.random.default_rng(8),
+        )
+        assert not series.failure_mask.any()
+
+    def test_outage_duration_bounds(self, network):
+        cfg = SimulationConfig(failure_rate=0.002, failure_duration=(4, 10))
+        series = simulate_traffic(network, 3000, config=cfg, rng=np.random.default_rng(9))
+        # Each contiguous outage run is at least the minimum duration unless
+        # truncated by the end of the series.
+        for node in range(network.num_nodes):
+            mask = series.failure_mask[:, node].astype(int)
+            changes = np.diff(np.concatenate([[0], mask, [0]]))
+            starts = np.nonzero(changes == 1)[0]
+            ends = np.nonzero(changes == -1)[0]
+            for s, e in zip(starts, ends):
+                if e < len(mask):  # not truncated
+                    assert e - s >= 4
+
+
+class TestDynamicCoupling:
+    def test_coupling_stronger_at_peak(self, network):
+        """The dynamic spatial dependency of Fig. 2(c): diffusion share of the
+        signal is larger at rush hour than at night."""
+        series = simulate_traffic(
+            network, 288 * 4,
+            config=SimulationConfig(failure_rate=0.0, dynamic_coupling_amplitude=0.8),
+            rng=np.random.default_rng(10),
+        )
+        hours = series.time_of_day / 288.0 * 24.0
+        rush = (hours >= 7.5) & (hours <= 8.5)
+        night = (hours >= 2.0) & (hours <= 4.0)
+        ratio_rush = series.diffusion[rush].sum() / max(series.inherent[rush].sum(), 1e-9)
+        ratio_night = series.diffusion[night].sum() / max(series.inherent[night].sum(), 1e-9)
+        assert ratio_rush > ratio_night

@@ -1,0 +1,66 @@
+"""Per-node evaluation and horizon curves."""
+
+import numpy as np
+import pytest
+
+from repro.training import evaluate_per_node, horizon_curve
+
+
+@pytest.fixture()
+def arrays(rng):
+    target = rng.uniform(1, 5, size=(20, 12, 4, 1))
+    prediction = target + rng.normal(0, 0.2, size=target.shape)
+    return prediction, target
+
+
+class TestPerNode:
+    def test_shape(self, arrays):
+        prediction, target = arrays
+        assert evaluate_per_node(prediction, target).shape == (4,)
+
+    def test_detects_bad_node(self, arrays):
+        prediction, target = arrays
+        prediction = prediction.copy()
+        prediction[:, :, 2] += 10.0
+        errors = evaluate_per_node(prediction, target)
+        assert errors.argmax() == 2
+        assert errors[2] > 5 * errors[0]
+
+    def test_masking(self, arrays):
+        prediction, target = arrays
+        target = target.copy()
+        target[:, :, 1] = 0.0  # node 1 entirely missing
+        errors = evaluate_per_node(prediction, target)
+        assert np.isnan(errors[1])
+        assert np.isfinite(errors[0])
+
+    def test_shape_mismatch(self, arrays):
+        prediction, target = arrays
+        with pytest.raises(ValueError):
+            evaluate_per_node(prediction[:, :6], target)
+
+
+class TestHorizonCurve:
+    def test_length(self, arrays):
+        prediction, target = arrays
+        assert horizon_curve(prediction, target).shape == (12,)
+
+    def test_detects_growing_error(self, arrays):
+        prediction, target = arrays
+        prediction = prediction.copy()
+        growth = np.linspace(0, 3, 12)[None, :, None, None]
+        prediction += growth
+        curve = horizon_curve(prediction, target)
+        assert curve[-1] > curve[0]
+        assert np.all(np.diff(curve) > -0.2)
+
+    def test_metric_selection(self, arrays):
+        prediction, target = arrays
+        mae = horizon_curve(prediction, target, metric="mae")
+        rmse = horizon_curve(prediction, target, metric="rmse")
+        assert np.all(rmse >= mae - 1e-9)
+
+    def test_unknown_metric(self, arrays):
+        prediction, target = arrays
+        with pytest.raises(ValueError):
+            horizon_curve(prediction, target, metric="r2")

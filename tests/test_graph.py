@@ -1,0 +1,210 @@
+"""Road networks, adjacency construction and transition matrices."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    backward_transition,
+    binary_adjacency,
+    forward_transition,
+    gaussian_kernel_adjacency,
+    generate_road_network,
+    localized_transition,
+    localized_transition_stack,
+    mask_self_loops,
+    matrix_powers,
+    shortest_path_distances,
+    symmetric_normalized_laplacian,
+    transition_pair,
+    validate_adjacency,
+)
+
+
+class TestRoadNetwork:
+    def test_minimum_size(self, rng):
+        with pytest.raises(ValueError):
+            generate_road_network(1, rng)
+
+    def test_shapes(self, rng):
+        net = generate_road_network(15, rng)
+        assert net.positions.shape == (15, 2)
+        assert net.distances.shape == (15, 15)
+
+    def test_zero_diagonal(self, rng):
+        net = generate_road_network(10, rng)
+        np.testing.assert_array_equal(np.diag(net.distances), np.zeros(10))
+
+    def test_connected_via_shortest_paths(self, rng):
+        net = generate_road_network(20, rng)
+        # Treat edges as undirected for reachability: every node reachable.
+        sym = np.minimum(net.distances, net.distances.T)
+        paths = shortest_path_distances(sym)
+        assert np.isfinite(paths).all()
+
+    def test_deterministic_given_rng_seed(self):
+        a = generate_road_network(10, np.random.default_rng(5))
+        b = generate_road_network(10, np.random.default_rng(5))
+        np.testing.assert_array_equal(a.positions, b.positions)
+        np.testing.assert_array_equal(a.distances, b.distances)
+
+    def test_edge_count_positive(self, rng):
+        net = generate_road_network(12, rng)
+        assert net.num_edges > 0
+
+    def test_road_distance_at_least_euclidean(self, rng):
+        net = generate_road_network(12, rng, distance_noise=0.2)
+        diffs = net.positions[:, None] - net.positions[None, :]
+        euclid = np.sqrt((diffs**2).sum(-1))
+        finite = np.isfinite(net.distances) & (euclid > 0)
+        assert np.all(net.distances[finite] >= euclid[finite] - 1e-9)
+
+
+class TestAdjacency:
+    def test_kernel_in_unit_interval(self, rng):
+        net = generate_road_network(12, rng)
+        adj = gaussian_kernel_adjacency(shortest_path_distances(net.distances))
+        assert np.all((adj >= 0) & (adj <= 1))
+
+    def test_threshold_zeroes_small_weights(self, rng):
+        net = generate_road_network(12, rng)
+        adj = gaussian_kernel_adjacency(shortest_path_distances(net.distances), threshold=0.5)
+        nonzero = adj[adj > 0]
+        assert np.all(nonzero >= 0.5)
+
+    def test_self_loops_controlled(self, rng):
+        net = generate_road_network(8, rng)
+        paths = shortest_path_distances(net.distances)
+        with_loops = gaussian_kernel_adjacency(paths, include_self_loops=True)
+        np.testing.assert_allclose(np.diag(with_loops), np.ones(8))
+        without = gaussian_kernel_adjacency(paths, include_self_loops=False)
+        np.testing.assert_array_equal(np.diag(without), np.zeros(8))
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            gaussian_kernel_adjacency(np.zeros((2, 3)))
+
+    def test_rejects_edgeless(self):
+        distances = np.full((3, 3), np.inf)
+        np.fill_diagonal(distances, 0.0)
+        with pytest.raises(ValueError):
+            gaussian_kernel_adjacency(distances)
+
+    def test_binary_adjacency(self, rng):
+        net = generate_road_network(8, rng)
+        adj = binary_adjacency(net.distances)
+        assert set(np.unique(adj)) <= {0.0, 1.0}
+        np.testing.assert_array_equal(np.diag(adj), np.zeros(8))
+
+    def test_validate_rejects_negative(self):
+        with pytest.raises(ValueError):
+            validate_adjacency(np.array([[0.0, -1.0], [0.0, 0.0]]))
+
+    def test_validate_rejects_nan(self):
+        with pytest.raises(ValueError):
+            validate_adjacency(np.array([[0.0, np.nan], [0.0, 0.0]]))
+
+    def test_shortest_paths_triangle_inequality(self, rng):
+        net = generate_road_network(10, rng, directed_fraction=0.0)
+        paths = shortest_path_distances(net.distances)
+        finite = np.isfinite(paths)
+        for k in range(10):
+            via_k = paths[:, k : k + 1] + paths[k : k + 1, :]
+            ok = finite & np.isfinite(via_k)
+            assert np.all(paths[ok] <= via_k[ok] + 1e-6)
+
+
+class TestTransition:
+    @pytest.fixture()
+    def adjacency(self, rng):
+        net = generate_road_network(10, rng)
+        return gaussian_kernel_adjacency(shortest_path_distances(net.distances))
+
+    def test_forward_row_stochastic(self, adjacency):
+        p = forward_transition(adjacency)
+        np.testing.assert_allclose(p.sum(axis=1), np.ones(10), rtol=1e-5)
+
+    def test_backward_row_stochastic(self, adjacency):
+        p = backward_transition(adjacency)
+        np.testing.assert_allclose(p.sum(axis=1), np.ones(10), rtol=1e-5)
+
+    def test_backward_is_forward_of_transpose(self, adjacency):
+        np.testing.assert_allclose(
+            backward_transition(adjacency), forward_transition(adjacency.T), rtol=1e-5
+        )
+
+    def test_pair(self, adjacency):
+        p_f, p_b = transition_pair(adjacency)
+        np.testing.assert_allclose(p_f, forward_transition(adjacency))
+        np.testing.assert_allclose(p_b, backward_transition(adjacency))
+
+    def test_isolated_node_gives_zero_row(self):
+        adjacency = np.zeros((3, 3), dtype=np.float32)
+        adjacency[0, 1] = 1.0
+        p = forward_transition(adjacency)
+        np.testing.assert_array_equal(p[2], np.zeros(3))
+
+    def test_powers_stay_row_stochastic(self, adjacency):
+        for power in matrix_powers(forward_transition(adjacency), 3):
+            np.testing.assert_allclose(power.sum(axis=1), np.ones(10), rtol=1e-4)
+
+    def test_powers_order(self, adjacency):
+        p = forward_transition(adjacency)
+        powers = matrix_powers(p, 3)
+        np.testing.assert_allclose(powers[1], p @ p, rtol=1e-5)
+        np.testing.assert_allclose(powers[2], p @ p @ p, rtol=1e-4)
+
+    def test_powers_validates_order(self, adjacency):
+        with pytest.raises(ValueError):
+            matrix_powers(forward_transition(adjacency), 0)
+
+    def test_laplacian_symmetric_psd(self, adjacency):
+        sym = np.maximum(adjacency, adjacency.T)
+        lap = symmetric_normalized_laplacian(sym)
+        np.testing.assert_allclose(lap, lap.T, atol=1e-5)
+        eigenvalues = np.linalg.eigvalsh(lap.astype(np.float64))
+        assert eigenvalues.min() > -1e-5
+        assert eigenvalues.max() < 2.0 + 1e-5
+
+
+class TestLocalized:
+    @pytest.fixture()
+    def transition(self, rng):
+        net = generate_road_network(6, rng)
+        return forward_transition(
+            gaussian_kernel_adjacency(shortest_path_distances(net.distances))
+        )
+
+    def test_shape_matches_eq4(self, transition):
+        local = localized_transition(transition, order=2, k_t=3)
+        assert local.shape == (6, 3 * 6)
+
+    def test_diagonal_blocks_masked(self, transition):
+        # P^local[i, i + k'N] must be zero for every temporal copy k'
+        # (self-influence is inherent, not diffusion).
+        k_t = 3
+        local = localized_transition(transition, order=1, k_t=k_t)
+        for copy in range(k_t):
+            block = local[:, copy * 6 : (copy + 1) * 6]
+            np.testing.assert_array_equal(np.diag(block), np.zeros(6))
+
+    def test_copies_identical(self, transition):
+        local = localized_transition(transition, order=2, k_t=2)
+        np.testing.assert_array_equal(local[:, :6], local[:, 6:])
+
+    def test_stack_orders(self, transition):
+        stack = localized_transition_stack(transition, k_s=3, k_t=2)
+        assert len(stack) == 3
+        expected_order2 = mask_self_loops(transition @ transition)
+        np.testing.assert_allclose(stack[1][:, :6], expected_order2, rtol=1e-5)
+
+    def test_mask_self_loops_pure(self, transition):
+        before = transition.copy()
+        masked = mask_self_loops(transition)
+        np.testing.assert_array_equal(transition, before)  # input untouched
+        np.testing.assert_array_equal(np.diag(masked), np.zeros(6))
+
+    def test_validates_sizes(self, transition):
+        with pytest.raises(ValueError):
+            localized_transition(transition, order=2, k_t=0)
+        with pytest.raises(ValueError):
+            localized_transition_stack(transition, k_s=0, k_t=1)

@@ -1,0 +1,91 @@
+"""Hypothesis property tests on the graph substrate's invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.graph import (
+    backward_transition,
+    forward_transition,
+    localized_transition_stack,
+    mask_self_loops,
+    matrix_powers,
+)
+
+
+def adjacency_matrices(max_nodes=8):
+    """Random non-negative square matrices with at least one edge per row."""
+
+    @st.composite
+    def build(draw):
+        n = draw(st.integers(min_value=2, max_value=max_nodes))
+        dense = draw(
+            hnp.arrays(
+                np.float32,
+                (n, n),
+                elements=st.floats(min_value=0.0, max_value=5.0, width=32),
+            )
+        )
+        # Guarantee no all-zero rows so transitions are genuinely stochastic,
+        # and drop subnormal weights (they underflow to zero during the
+        # float32 row normalisation, which is expected numerics, not a bug).
+        dense[dense < 1e-3] = 0.0
+        dense = dense + np.eye(n, dtype=np.float32) * 0.5
+        return dense
+
+    return build()
+
+
+@given(adjacency_matrices())
+@settings(max_examples=50, deadline=None)
+def test_forward_transition_is_row_stochastic(adjacency):
+    p = forward_transition(adjacency)
+    np.testing.assert_allclose(p.sum(axis=1), np.ones(adjacency.shape[0]), rtol=1e-4)
+    assert np.all(p >= 0)
+
+
+@given(adjacency_matrices())
+@settings(max_examples=50, deadline=None)
+def test_backward_transition_transposes_support(adjacency):
+    p_b = backward_transition(adjacency)
+    support_b = p_b > 0
+    support_a = adjacency.T > 0
+    np.testing.assert_array_equal(support_b, support_a)
+
+
+@given(adjacency_matrices(), st.integers(min_value=1, max_value=3))
+@settings(max_examples=30, deadline=None)
+def test_powers_preserve_row_stochasticity(adjacency, order):
+    p = forward_transition(adjacency)
+    for power in matrix_powers(p, order):
+        np.testing.assert_allclose(power.sum(axis=1), np.ones(p.shape[0]), rtol=1e-3)
+
+
+@given(adjacency_matrices())
+@settings(max_examples=50, deadline=None)
+def test_mask_self_loops_only_touches_diagonal(adjacency):
+    p = forward_transition(adjacency)
+    masked = mask_self_loops(p)
+    np.testing.assert_array_equal(np.diag(masked), np.zeros(p.shape[0]))
+    off = ~np.eye(p.shape[0], dtype=bool)
+    np.testing.assert_array_equal(masked[off], p[off])
+
+
+@given(
+    adjacency_matrices(),
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=30, deadline=None)
+def test_localized_stack_shape_and_masking(adjacency, k_s, k_t):
+    p = forward_transition(adjacency)
+    n = p.shape[0]
+    stack = localized_transition_stack(p, k_s=k_s, k_t=k_t)
+    assert len(stack) == k_s
+    for local in stack:
+        assert local.shape == (n, k_t * n)
+        for copy in range(k_t):
+            block = local[:, copy * n : (copy + 1) * n]
+            np.testing.assert_array_equal(np.diag(block), np.zeros(n))

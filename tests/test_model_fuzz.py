@@ -1,0 +1,86 @@
+"""Hypothesis fuzzing over model configurations.
+
+Any valid :class:`D2STGNNConfig` must build, forward to the right shape and
+backpropagate to at least the input projection — across the whole flag
+lattice, not only the named ablations.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import D2STGNN, D2STGNNConfig
+from repro.tensor import Tensor
+from repro.utils.seed import set_seed
+
+N = 5
+ADJACENCY = (np.eye(N) + np.roll(np.eye(N), 1, axis=1) + np.roll(np.eye(N), -1, axis=1)).astype(
+    np.float32
+)
+
+
+configs = st.fixed_dictionaries(
+    {
+        "num_layers": st.integers(min_value=1, max_value=2),
+        "k_s": st.integers(min_value=1, max_value=3),
+        "k_t": st.integers(min_value=1, max_value=3),
+        "hidden_dim": st.sampled_from([4, 8]),
+        "diffusion_first": st.booleans(),
+        "use_gate": st.booleans(),
+        "use_residual": st.booleans(),
+        "use_decouple": st.booleans(),
+        "use_dynamic_graph": st.booleans(),
+        "dynamic_graph_per_step": st.booleans(),
+        "use_adaptive": st.booleans(),
+        "use_gru": st.booleans(),
+        "use_msa": st.booleans(),
+        "autoregressive": st.booleans(),
+    }
+)
+
+
+@given(configs)
+@settings(max_examples=25, deadline=None)
+def test_any_valid_config_trains(flags):
+    if not (flags["use_gru"] or flags["use_msa"]):
+        flags["use_gru"] = True  # the inherent block needs one sub-module
+    set_seed(0)
+    config = D2STGNNConfig(
+        num_nodes=N,
+        steps_per_day=288,
+        embed_dim=4,
+        num_heads=2,
+        history=6,
+        horizon=3,
+        dropout=0.0,
+        **flags,
+    )
+    model = D2STGNN(config, ADJACENCY)
+    rng = np.random.default_rng(1)
+    x = rng.normal(size=(2, 6, N, 1)).astype(np.float32)
+    tod = rng.integers(0, 288, size=(2, 6))
+    dow = rng.integers(0, 7, size=(2, 6))
+    out = model(x, tod, dow)
+    assert out.shape == (2, 3, N, 1)
+    assert np.isfinite(out.numpy()).all()
+    out.sum().backward()
+    assert model.input_projection.weight.grad is not None
+    assert np.isfinite(model.input_projection.weight.grad).all()
+
+
+@given(st.integers(min_value=2, max_value=12), st.integers(min_value=1, max_value=12))
+@settings(max_examples=15, deadline=None)
+def test_any_history_horizon_combination(history, horizon):
+    set_seed(0)
+    config = D2STGNNConfig(
+        num_nodes=N, steps_per_day=288, hidden_dim=4, embed_dim=4, num_heads=2,
+        num_layers=1, history=history, horizon=horizon, dropout=0.0,
+    )
+    model = D2STGNN(config, ADJACENCY)
+    rng = np.random.default_rng(2)
+    x = rng.normal(size=(1, history, N, 1)).astype(np.float32)
+    tod = rng.integers(0, 288, size=(1, history))
+    dow = rng.integers(0, 7, size=(1, history))
+    out = model(x, tod, dow)
+    assert out.shape == (1, horizon, N, 1)

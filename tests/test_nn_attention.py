@@ -1,0 +1,99 @@
+"""Multi-head self-attention and positional encoding."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.attention import scaled_dot_product_attention
+from repro.nn.positional import sinusoidal_encoding
+from repro.tensor import Tensor, gradcheck
+
+
+def t(shape, rng):
+    return Tensor(rng.normal(size=shape).astype(np.float32), requires_grad=True)
+
+
+class TestScaledDotProduct:
+    def test_shape(self, rng):
+        q, k, v = t((2, 5, 4), rng), t((2, 7, 4), rng), t((2, 7, 4), rng)
+        assert scaled_dot_product_attention(q, k, v).shape == (2, 5, 4)
+
+    def test_mask_blocks_positions(self, rng):
+        q, k = t((1, 2, 4), rng), t((1, 3, 4), rng)
+        v = Tensor(np.arange(12, dtype=np.float32).reshape(1, 3, 4))
+        mask = np.zeros((1, 2, 3), dtype=bool)
+        mask[..., 2] = True  # nothing may attend to key 2
+        out = scaled_dot_product_attention(q, k, v, mask=mask).numpy()
+        # Output must be a convex combination of rows 0 and 1 of v only.
+        lo = v.numpy()[0, :2].min(axis=0)
+        hi = v.numpy()[0, :2].max(axis=0)
+        assert np.all(out >= lo - 1e-4) and np.all(out <= hi + 1e-4)
+
+    def test_uniform_keys_average_values(self):
+        q = Tensor(np.zeros((1, 1, 4), np.float32))
+        k = Tensor(np.zeros((1, 3, 4), np.float32))
+        v = Tensor(np.arange(12, dtype=np.float32).reshape(1, 3, 4))
+        out = scaled_dot_product_attention(q, k, v).numpy()
+        np.testing.assert_allclose(out[0, 0], v.numpy()[0].mean(axis=0), rtol=1e-5)
+
+
+class TestMultiHead:
+    def test_dim_must_divide_heads(self):
+        with pytest.raises(ValueError):
+            nn.MultiHeadSelfAttention(10, num_heads=3)
+
+    def test_shape_preserved(self, rng):
+        att = nn.MultiHeadSelfAttention(8, num_heads=2)
+        assert att(t((3, 6, 8), rng)).shape == (3, 6, 8)
+
+    def test_gradcheck(self, rng):
+        att = nn.MultiHeadSelfAttention(4, num_heads=2)
+        gradcheck(lambda x: att(x), [t((1, 3, 4), rng)])
+
+    def test_permutation_equivariance_without_positions(self, rng):
+        # Self-attention with no positional encoding commutes with permuting
+        # the sequence axis.
+        att = nn.MultiHeadSelfAttention(4, num_heads=2)
+        x = rng.normal(size=(1, 5, 4)).astype(np.float32)
+        perm = np.array([3, 1, 4, 0, 2])
+        out = att(Tensor(x)).numpy()
+        out_perm = att(Tensor(x[:, perm])).numpy()
+        np.testing.assert_allclose(out[:, perm], out_perm, atol=1e-4)
+
+    def test_head_count_stored(self):
+        att = nn.MultiHeadSelfAttention(8, num_heads=4)
+        assert att.head_dim == 2
+
+
+class TestPositionalEncoding:
+    def test_table_shape_and_range(self):
+        table = sinusoidal_encoding(10, 8)
+        assert table.shape == (10, 8)
+        assert np.all(np.abs(table) <= 1.0)
+
+    def test_even_odd_structure(self):
+        table = sinusoidal_encoding(4, 6)
+        # position 0: sin(0)=0 on even indices, cos(0)=1 on odd indices.
+        np.testing.assert_allclose(table[0, 0::2], 0.0, atol=1e-7)
+        np.testing.assert_allclose(table[0, 1::2], 1.0, atol=1e-7)
+
+    def test_distinct_positions_distinct_codes(self):
+        table = sinusoidal_encoding(32, 16)
+        diffs = np.abs(table[:, None, :] - table[None, :, :]).sum(axis=-1)
+        off_diag = diffs[~np.eye(32, dtype=bool)]
+        assert off_diag.min() > 1e-3
+
+    def test_module_adds_to_input(self, rng):
+        pe = nn.PositionalEncoding(8, max_length=16)
+        x = t((2, 5, 8), rng)
+        np.testing.assert_allclose(
+            pe(x).numpy(), x.numpy() + sinusoidal_encoding(16, 8)[:5], rtol=1e-5
+        )
+
+    def test_module_grows_table_on_demand(self, rng):
+        pe = nn.PositionalEncoding(4, max_length=2)
+        out = pe(t((1, 9, 4), rng))
+        assert out.shape == (1, 9, 4)
+
+    def test_has_no_parameters(self):
+        assert nn.PositionalEncoding(8).num_parameters() == 0

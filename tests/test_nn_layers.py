@@ -1,0 +1,180 @@
+"""Linear, MLP, LayerNorm, Dropout, Embedding, activations, init schemes."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor, gradcheck
+
+
+def t(shape, rng):
+    return Tensor(rng.normal(size=shape).astype(np.float32), requires_grad=True)
+
+
+class TestLinear:
+    def test_output_shape(self, rng):
+        layer = nn.Linear(5, 3)
+        assert layer(t((7, 5), rng)).shape == (7, 3)
+
+    def test_applies_to_trailing_axis_of_4d(self, rng):
+        layer = nn.Linear(5, 3)
+        assert layer(t((2, 4, 6, 5), rng)).shape == (2, 4, 6, 3)
+
+    def test_no_bias(self, rng):
+        layer = nn.Linear(4, 2, bias=False)
+        assert layer.bias is None
+        zero_out = layer(Tensor(np.zeros((1, 4), np.float32))).numpy()
+        np.testing.assert_array_equal(zero_out, np.zeros((1, 2)))
+
+    def test_gradcheck(self, rng):
+        layer = nn.Linear(3, 2)
+        gradcheck(lambda x: layer(x), [t((4, 3), rng)])
+
+    def test_matches_manual_affine(self, rng):
+        layer = nn.Linear(3, 2)
+        x = rng.normal(size=(5, 3)).astype(np.float32)
+        expected = x @ layer.weight.data + layer.bias.data
+        np.testing.assert_allclose(layer(Tensor(x)).numpy(), expected, rtol=1e-5)
+
+
+class TestMLP:
+    def test_requires_two_dims(self):
+        with pytest.raises(ValueError):
+            nn.MLP([4])
+
+    def test_depth(self, rng):
+        mlp = nn.MLP([4, 8, 8, 2])
+        assert len(mlp.layers) == 3
+        assert mlp(t((3, 4), rng)).shape == (3, 2)
+
+    def test_final_activation_flag(self, rng):
+        mlp = nn.MLP([4, 4], final_activation=True)
+        out = mlp(t((10, 4), rng)).numpy()
+        assert np.all(out >= 0.0)
+
+    def test_no_final_activation_by_default(self, rng):
+        mlp = nn.MLP([4, 4])
+        outs = [mlp(t((10, 4), rng)).numpy() for _ in range(3)]
+        assert any(np.any(o < 0) for o in outs)
+
+
+class TestLayerNorm:
+    def test_normalises_last_axis(self, rng):
+        layer = nn.LayerNorm(6)
+        out = layer(t((4, 6), rng)).numpy()
+        np.testing.assert_allclose(out.mean(axis=-1), np.zeros(4), atol=1e-4)
+        np.testing.assert_allclose(out.std(axis=-1), np.ones(4), atol=1e-2)
+
+    def test_gradcheck(self, rng):
+        layer = nn.LayerNorm(4)
+        gradcheck(lambda x: layer(x), [t((3, 4), rng)], atol=2e-2)
+
+    def test_gamma_beta_trainable(self):
+        layer = nn.LayerNorm(4)
+        assert len(layer.parameters()) == 2
+
+
+class TestDropout:
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.0)
+
+    def test_eval_is_identity(self, rng):
+        layer = nn.Dropout(0.5)
+        layer.eval()
+        x = t((10, 10), rng)
+        np.testing.assert_array_equal(layer(x).numpy(), x.numpy())
+
+    def test_train_zeroes_some_and_rescales(self, rng):
+        layer = nn.Dropout(0.5)
+        x = Tensor(np.ones((100, 100), np.float32))
+        out = layer(x).numpy()
+        zero_fraction = (out == 0).mean()
+        assert 0.4 < zero_fraction < 0.6
+        # Inverted dropout: survivors scaled by 1/keep.
+        survivors = out[out != 0]
+        np.testing.assert_allclose(survivors, np.full_like(survivors, 2.0))
+
+    def test_expected_value_preserved(self, rng):
+        layer = nn.Dropout(0.3)
+        x = Tensor(np.ones((200, 200), np.float32))
+        assert layer(x).numpy().mean() == pytest.approx(1.0, abs=0.05)
+
+
+class TestEmbedding:
+    def test_lookup_shape(self):
+        emb = nn.Embedding(10, 4)
+        out = emb(np.array([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2, 4)
+
+    def test_lookup_values_match_table(self):
+        emb = nn.Embedding(5, 3)
+        np.testing.assert_array_equal(emb(np.array([2])).numpy()[0], emb.weight.data[2])
+
+    def test_out_of_range_raises(self):
+        emb = nn.Embedding(5, 3)
+        with pytest.raises(IndexError):
+            emb(np.array([5]))
+        with pytest.raises(IndexError):
+            emb(np.array([-1]))
+
+    def test_float_indices_rejected(self):
+        emb = nn.Embedding(5, 3)
+        with pytest.raises(TypeError):
+            emb(np.array([1.5]))
+
+    def test_gradient_accumulates_on_repeated_index(self):
+        emb = nn.Embedding(4, 2)
+        emb(np.array([1, 1])).sum().backward()
+        np.testing.assert_allclose(emb.weight.grad[1], [2.0, 2.0])
+        np.testing.assert_allclose(emb.weight.grad[0], [0.0, 0.0])
+
+
+class TestActivations:
+    def test_relu_module(self, rng):
+        out = nn.ReLU()(Tensor(np.array([-1.0, 2.0], np.float32))).numpy()
+        np.testing.assert_array_equal(out, [0.0, 2.0])
+
+    def test_sigmoid_module_range(self, rng):
+        out = nn.Sigmoid()(t((10,), rng)).numpy()
+        assert np.all((out > 0) & (out < 1))
+
+    def test_tanh_module_range(self, rng):
+        out = nn.Tanh()(t((10,), rng)).numpy()
+        assert np.all((out > -1) & (out < 1))
+
+    def test_leaky_relu_module(self):
+        out = nn.LeakyReLU(0.2)(Tensor(np.array([-1.0], np.float32))).numpy()
+        assert out[0] == pytest.approx(-0.2)
+
+
+class TestInit:
+    def test_xavier_uniform_bound(self):
+        w = nn.init.xavier_uniform(100, 100)
+        bound = np.sqrt(6.0 / 200)
+        assert np.abs(w).max() <= bound + 1e-6
+
+    def test_xavier_normal_std(self):
+        w = nn.init.xavier_normal(200, 200)
+        assert w.std() == pytest.approx(np.sqrt(2.0 / 400), rel=0.15)
+
+    def test_kaiming_uniform_bound(self):
+        w = nn.init.kaiming_uniform(50, 10)
+        assert np.abs(w).max() <= np.sqrt(6.0 / 50) + 1e-6
+
+    def test_zeros_ones(self):
+        assert nn.init.zeros(3, 2).sum() == 0.0
+        assert nn.init.ones(3, 2).sum() == 6.0
+
+    def test_deterministic_after_seed(self):
+        from repro.utils.seed import set_seed
+
+        set_seed(3)
+        a = nn.init.xavier_uniform(4, 4)
+        set_seed(3)
+        b = nn.init.xavier_uniform(4, 4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_all_float32(self):
+        for arr in (nn.init.uniform(2, 2), nn.init.normal(2, 2), nn.init.xavier_uniform(2, 2)):
+            assert arr.dtype == np.float32

@@ -1,0 +1,90 @@
+"""Module/Parameter registration, traversal and serialization."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+class TestRegistration:
+    def test_parameters_collected(self):
+        layer = nn.Linear(3, 4)
+        names = dict(layer.named_parameters())
+        assert set(names) == {"weight", "bias"}
+
+    def test_nested_modules_prefixed(self):
+        model = nn.Sequential(nn.Linear(2, 3), nn.Linear(3, 1))
+        names = {name for name, _ in model.named_parameters()}
+        assert "0.weight" in names and "1.bias" in names
+
+    def test_modulelist_registers(self):
+        items = nn.ModuleList([nn.Linear(2, 2) for _ in range(3)])
+        assert len(items.parameters()) == 6
+        assert len(items) == 3
+
+    def test_num_parameters(self):
+        layer = nn.Linear(3, 4)
+        assert layer.num_parameters() == 3 * 4 + 4
+
+    def test_modules_iterates_tree(self):
+        model = nn.Sequential(nn.Linear(2, 2), nn.Sequential(nn.Linear(2, 2)))
+        assert sum(1 for _ in model.modules()) == 4  # root + 2 children + nested leaf
+
+
+class TestModes:
+    def test_train_eval_propagates(self):
+        model = nn.Sequential(nn.Dropout(0.5), nn.Linear(2, 2))
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_zero_grad_clears_all(self):
+        layer = nn.Linear(2, 2)
+        from repro.tensor import Tensor
+
+        layer(Tensor(np.ones((1, 2), np.float32))).sum().backward()
+        assert any(p.grad is not None for p in layer.parameters())
+        layer.zero_grad()
+        assert all(p.grad is None for p in layer.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        a = nn.Linear(3, 4)
+        b = nn.Linear(3, 4)
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+
+    def test_state_dict_is_a_copy(self):
+        layer = nn.Linear(2, 2)
+        state = layer.state_dict()
+        state["weight"][:] = 99.0
+        assert not np.any(layer.weight.data == 99.0)
+
+    def test_missing_key_raises(self):
+        layer = nn.Linear(2, 2)
+        state = layer.state_dict()
+        del state["bias"]
+        with pytest.raises(KeyError):
+            layer.load_state_dict(state)
+
+    def test_unexpected_key_raises(self):
+        layer = nn.Linear(2, 2)
+        state = layer.state_dict()
+        state["ghost"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            layer.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        layer = nn.Linear(2, 2)
+        state = layer.state_dict()
+        state["weight"] = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            layer.load_state_dict(state)
+
+
+class TestForward:
+    def test_base_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            nn.Module()(1)

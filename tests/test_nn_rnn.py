@@ -1,0 +1,92 @@
+"""GRU and LSTM layers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor, gradcheck
+
+
+def t(shape, rng):
+    return Tensor(rng.normal(size=shape).astype(np.float32), requires_grad=True)
+
+
+class TestGRUCell:
+    def test_output_shape(self, rng):
+        cell = nn.GRUCell(3, 5)
+        assert cell(t((2, 3), rng), Tensor.zeros((2, 5))).shape == (2, 5)
+
+    def test_gradcheck(self, rng):
+        cell = nn.GRUCell(2, 3)
+        gradcheck(lambda x, h: cell(x, h), [t((2, 2), rng), t((2, 3), rng)])
+
+    def test_zero_update_gate_keeps_state(self, rng):
+        # Force z ≈ 0 by pushing its bias very negative: h_next ≈ h.
+        cell = nn.GRUCell(2, 3)
+        cell.b_z.data[:] = -50.0
+        h = t((1, 3), rng)
+        out = cell(t((1, 2), rng), h)
+        np.testing.assert_allclose(out.numpy(), h.numpy(), atol=1e-4)
+
+
+class TestGRU:
+    def test_sequence_shapes(self, rng):
+        gru = nn.GRU(3, 4)
+        seq, last = gru(t((2, 6, 3), rng))
+        assert seq.shape == (2, 6, 4)
+        assert last.shape == (2, 4)
+
+    def test_last_state_matches_sequence_tail(self, rng):
+        gru = nn.GRU(3, 4)
+        seq, last = gru(t((2, 5, 3), rng))
+        np.testing.assert_array_equal(seq.numpy()[:, -1], last.numpy())
+
+    def test_custom_initial_state(self, rng):
+        gru = nn.GRU(2, 3)
+        x = t((1, 1, 2), rng)
+        h0 = Tensor(np.full((1, 3), 0.5, np.float32))
+        seq_a, _ = gru(x, h0)
+        seq_b, _ = gru(x)
+        assert not np.allclose(seq_a.numpy(), seq_b.numpy())
+
+    def test_gradients_flow_through_time(self, rng):
+        gru = nn.GRU(2, 3)
+        x = t((1, 8, 2), rng)
+        (_, last) = gru(x)
+        last.sum().backward()
+        # Input at the first step must still receive gradient.
+        assert np.abs(x.grad[0, 0]).sum() > 0
+
+
+class TestLSTM:
+    def test_cell_shapes(self, rng):
+        cell = nn.LSTMCell(3, 4)
+        h, c = cell(t((2, 3), rng), (Tensor.zeros((2, 4)), Tensor.zeros((2, 4))))
+        assert h.shape == (2, 4) and c.shape == (2, 4)
+
+    def test_cell_gradcheck(self, rng):
+        cell = nn.LSTMCell(2, 3)
+        x, h, c = t((2, 2), rng), t((2, 3), rng), t((2, 3), rng)
+        gradcheck(lambda x, h, c: cell(x, (h, c))[0], [x, h, c])
+
+    def test_sequence_shapes(self, rng):
+        lstm = nn.LSTM(3, 4)
+        seq, (h, c) = lstm(t((2, 6, 3), rng))
+        assert seq.shape == (2, 6, 4)
+        assert h.shape == (2, 4) and c.shape == (2, 4)
+
+    def test_forget_gate_zero_erases_memory(self, rng):
+        cell = nn.LSTMCell(2, 3)
+        d = cell.hidden_dim
+        cell.b.data[d : 2 * d] = -50.0  # forget gate ≈ 0
+        cell.b.data[0:d] = -50.0  # input gate ≈ 0
+        c_big = Tensor(np.full((1, 3), 5.0, np.float32))
+        _, c_next = cell(t((1, 2), rng), (Tensor.zeros((1, 3)), c_big))
+        np.testing.assert_allclose(c_next.numpy(), np.zeros((1, 3)), atol=1e-4)
+
+    def test_state_threading(self, rng):
+        lstm = nn.LSTM(2, 3)
+        x = t((1, 4, 2), rng)
+        seq, state = lstm(x)
+        seq2, _ = lstm(x, state)
+        assert not np.allclose(seq.numpy(), seq2.numpy())

@@ -1,0 +1,127 @@
+"""Optimizers, gradient clipping and LR schedules."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.optim import SGD, Adam, CosineAnnealingLR, StepLR, clip_grad_norm
+from repro.tensor import Tensor
+
+
+def quadratic_param(value=5.0):
+    return nn.Parameter(np.array([value], dtype=np.float32))
+
+
+def minimise(optimizer, param, steps=200):
+    for _ in range(steps):
+        optimizer.zero_grad()
+        loss = (param * param).sum()
+        loss.backward()
+        optimizer.step()
+    return float(param.data[0])
+
+
+class TestSGD:
+    def test_minimises_quadratic(self):
+        p = quadratic_param()
+        assert abs(minimise(SGD([p], lr=0.1), p)) < 1e-3
+
+    def test_momentum_accelerates(self):
+        p_plain, p_momentum = quadratic_param(), quadratic_param()
+        plain = abs(minimise(SGD([p_plain], lr=0.01), p_plain, steps=50))
+        fast = abs(minimise(SGD([p_momentum], lr=0.01, momentum=0.9), p_momentum, steps=50))
+        assert fast < plain
+
+    def test_weight_decay_shrinks_weights(self):
+        p = nn.Parameter(np.array([1.0], dtype=np.float32))
+        opt = SGD([p], lr=0.1, weight_decay=1.0)
+        p.grad = np.zeros(1, dtype=np.float32)
+        opt.step()
+        assert p.data[0] < 1.0
+
+    def test_skips_params_without_grad(self):
+        p = quadratic_param()
+        SGD([p], lr=0.1).step()  # no grad yet: must not crash
+        assert p.data[0] == 5.0
+
+
+class TestAdam:
+    def test_minimises_quadratic(self):
+        p = quadratic_param()
+        assert abs(minimise(Adam([p], lr=0.1), p)) < 1e-2
+
+    def test_bias_correction_first_step_magnitude(self):
+        # With bias correction, the first Adam step has magnitude ≈ lr.
+        p = quadratic_param(1.0)
+        opt = Adam([p], lr=0.1)
+        (p * p).sum().backward()
+        opt.step()
+        assert p.data[0] == pytest.approx(0.9, abs=1e-3)
+
+    def test_invalid_lr_rejected(self):
+        with pytest.raises(ValueError):
+            Adam([quadratic_param()], lr=0.0)
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            Adam([], lr=0.1)
+
+    def test_weight_decay_applies(self):
+        p = nn.Parameter(np.array([1.0], dtype=np.float32))
+        opt = Adam([p], lr=0.01, weight_decay=1.0)
+        p.grad = np.zeros(1, dtype=np.float32)
+        opt.step()
+        assert p.data[0] < 1.0
+
+
+class TestClipGradNorm:
+    def test_no_clip_below_threshold(self):
+        p = nn.Parameter(np.zeros(3, dtype=np.float32))
+        p.grad = np.array([0.1, 0.2, 0.2], dtype=np.float32)
+        before = p.grad.copy()
+        norm = clip_grad_norm([p], max_norm=10.0)
+        np.testing.assert_array_equal(p.grad, before)
+        assert norm == pytest.approx(np.linalg.norm(before), rel=1e-5)
+
+    def test_clips_to_max_norm(self):
+        p = nn.Parameter(np.zeros(2, dtype=np.float32))
+        p.grad = np.array([3.0, 4.0], dtype=np.float32)  # norm 5
+        clip_grad_norm([p], max_norm=1.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0, rel=1e-5)
+
+    def test_handles_missing_grads(self):
+        p = nn.Parameter(np.zeros(2, dtype=np.float32))
+        assert clip_grad_norm([p], max_norm=1.0) == 0.0
+
+    def test_global_norm_across_params(self):
+        a = nn.Parameter(np.zeros(1, dtype=np.float32))
+        b = nn.Parameter(np.zeros(1, dtype=np.float32))
+        a.grad = np.array([3.0], dtype=np.float32)
+        b.grad = np.array([4.0], dtype=np.float32)
+        assert clip_grad_norm([a, b], max_norm=100.0) == pytest.approx(5.0)
+
+
+class TestSchedulers:
+    def test_step_lr_decays(self):
+        p = quadratic_param()
+        opt = Adam([p], lr=1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.5)
+        lrs = [sched.step() for _ in range(4)]
+        assert lrs == [1.0, 0.5, 0.5, 0.25]
+
+    def test_step_lr_validates(self):
+        with pytest.raises(ValueError):
+            StepLR(Adam([quadratic_param()], lr=1.0), step_size=0)
+
+    def test_cosine_reaches_min(self):
+        opt = Adam([quadratic_param()], lr=1.0)
+        sched = CosineAnnealingLR(opt, total_epochs=10, min_lr=0.1)
+        for _ in range(10):
+            sched.step()
+        assert opt.lr == pytest.approx(0.1, abs=1e-6)
+
+    def test_cosine_monotone_decreasing(self):
+        opt = Adam([quadratic_param()], lr=1.0)
+        sched = CosineAnnealingLR(opt, total_epochs=8)
+        lrs = [sched.step() for _ in range(8)]
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))

@@ -1,0 +1,260 @@
+"""Equation-level verification against the paper's formulas.
+
+Each test recomputes one numbered equation of the paper by hand in numpy
+from the module's extracted weights and checks the module output matches.
+This pins the implementation to the paper, not merely to itself.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import DiffusionBlock, EstimationGate, SpatialTemporalEmbeddings
+from repro.graph import localized_transition, mask_self_loops
+from repro.nn.positional import sinusoidal_encoding
+from repro.tensor import Tensor
+
+N, D = 4, 6
+
+
+def relu(x):
+    return np.maximum(x, 0.0)
+
+
+def sigmoid(x):
+    return 1.0 / (1.0 + np.exp(-x))
+
+
+def softmax(x, axis=-1):
+    shifted = x - x.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+class TestEq3EstimationGate:
+    def test_gate_formula(self, rng):
+        """Λ = Sigmoid(σ((T^D || T^W || E^u || E^d) W_1) W_2)."""
+        gate = EstimationGate(embed_dim=D, hidden_dim=D)
+        batch, steps = 2, 3
+        t_day = rng.normal(size=(batch, steps, D)).astype(np.float32)
+        t_week = rng.normal(size=(batch, steps, D)).astype(np.float32)
+        e_u = rng.normal(size=(N, D)).astype(np.float32)
+        e_d = rng.normal(size=(N, D)).astype(np.float32)
+
+        out = gate.gate_values(
+            Tensor(t_day), Tensor(t_week), Tensor(e_u), Tensor(e_d)
+        ).numpy()
+
+        w1, b1 = gate.fc1.weight.data, gate.fc1.bias.data
+        w2, b2 = gate.fc2.weight.data, gate.fc2.bias.data
+        expected = np.empty((batch, steps, N, 1))
+        for b in range(batch):
+            for t in range(steps):
+                for i in range(N):
+                    features = np.concatenate(
+                        [t_day[b, t], t_week[b, t], e_u[i], e_d[i]]
+                    )
+                    hidden = relu(features @ w1 + b1)
+                    expected[b, t, i, 0] = sigmoid(hidden @ w2 + b2)[0]
+        np.testing.assert_allclose(out, expected, rtol=1e-4, atol=1e-5)
+
+
+class TestEq4LocalizedTransition:
+    def test_block_structure(self, rng):
+        """(P^local)^k = [P^k ⊙ (1-I) || ... || P^k ⊙ (1-I)] (k_t copies)."""
+        p = rng.uniform(0, 1, size=(N, N)).astype(np.float32)
+        p = p / p.sum(axis=1, keepdims=True)
+        k, k_t = 2, 3
+        local = localized_transition(p, order=k, k_t=k_t)
+        expected_block = p @ p
+        np.fill_diagonal(expected_block, 0.0)
+        for copy in range(k_t):
+            np.testing.assert_allclose(
+                local[:, copy * N : (copy + 1) * N], expected_block, rtol=1e-5
+            )
+
+
+class TestEq5and6DiffusionConvolution:
+    def test_single_order_single_lag(self, rng):
+        """With k_s = k_t = 1 and one support, Eq. 6 reduces to
+        H_t = (P ⊙ (1-I)) σ(X_t W_0) W_1 + b — recomputed by hand."""
+        block = DiffusionBlock(D, num_supports=1, k_s=1, k_t=1, horizon=2)
+        p = rng.uniform(0, 1, size=(N, N)).astype(np.float32)
+        p = p / p.sum(axis=1, keepdims=True)
+        x = rng.normal(size=(1, 3, N, D)).astype(np.float32)
+
+        hidden, _, _ = block(Tensor(x), [p])
+
+        w0 = block.offset_transforms[0].weight.data
+        w1 = block.order_transforms[0].weight.data
+        bias = block.output_bias.data
+        p_masked = mask_self_loops(p)
+        expected = np.empty((1, 3, N, D))
+        for t in range(3):
+            expected[0, t] = p_masked @ relu(x[0, t] @ w0) @ w1 + bias
+        np.testing.assert_allclose(hidden.numpy(), expected, rtol=1e-4, atol=1e-5)
+
+    def test_temporal_sum_matches_eq5(self, rng):
+        """With k_t = 2 the localized features sum two shifted transforms."""
+        block = DiffusionBlock(D, num_supports=1, k_s=1, k_t=2, horizon=2)
+        p = rng.uniform(0, 1, size=(N, N)).astype(np.float32)
+        p = p / p.sum(axis=1, keepdims=True)
+        x = rng.normal(size=(1, 4, N, D)).astype(np.float32)
+
+        hidden, _, _ = block(Tensor(x), [p])
+
+        w_new = block.offset_transforms[0].weight.data  # offset 0 (current step)
+        w_old = block.offset_transforms[1].weight.data  # offset 1 (previous step)
+        w_out = block.order_transforms[0].weight.data
+        bias = block.output_bias.data
+        p_masked = mask_self_loops(p)
+        t = 2
+        mixed = relu(x[0, t] @ w_new) + relu(x[0, t - 1] @ w_old)
+        expected_t = p_masked @ mixed @ w_out + bias
+        np.testing.assert_allclose(hidden.numpy()[0, t], expected_t, rtol=1e-4, atol=1e-5)
+
+
+class TestEq7AdaptiveTransition:
+    def test_formula(self):
+        """P_apt = Softmax(σ(E^d (E^u)^T))."""
+        embeddings = SpatialTemporalEmbeddings(num_nodes=N, steps_per_day=288, dim=D)
+        out = embeddings.adaptive_transition().numpy()
+        e_u = embeddings.node_source.data
+        e_d = embeddings.node_target.data
+        expected = softmax(relu(e_d @ e_u.T), axis=-1)
+        np.testing.assert_allclose(out, expected, rtol=1e-4, atol=1e-5)
+
+
+class TestEq10GRU:
+    def test_cell_formula(self, rng):
+        """z/r gates and candidate exactly as printed in Eq. 10."""
+        cell = nn.GRUCell(D, D)
+        x = rng.normal(size=(1, D)).astype(np.float32)
+        h = rng.normal(size=(1, D)).astype(np.float32)
+        out = cell(Tensor(x), Tensor(h)).numpy()
+
+        z = sigmoid(x @ cell.w_z.data + h @ cell.u_z.data + cell.b_z.data)
+        r = sigmoid(x @ cell.w_r.data + h @ cell.u_r.data + cell.b_r.data)
+        candidate = np.tanh(x @ cell.w_h.data + r * (h @ cell.u_h.data + cell.b_h.data))
+        expected = (1.0 - z) * h + z * candidate
+        np.testing.assert_allclose(out, expected, rtol=1e-4, atol=1e-5)
+
+
+class TestEq11Attention:
+    def test_single_head_formula(self, rng):
+        """head = softmax(H W^Q (H W^K)^T / sqrt(d)) H W^V, then W^O."""
+        att = nn.MultiHeadSelfAttention(D, num_heads=1)
+        h = rng.normal(size=(1, 5, D)).astype(np.float32)
+        out = att(Tensor(h)).numpy()
+
+        q = h[0] @ att.w_q.weight.data
+        k = h[0] @ att.w_k.weight.data
+        v = h[0] @ att.w_v.weight.data
+        scores = softmax(q @ k.T / np.sqrt(D), axis=-1)
+        expected = (scores @ v) @ att.w_o.weight.data
+        np.testing.assert_allclose(out[0], expected, rtol=1e-3, atol=1e-4)
+
+
+class TestEq12PositionalEncoding:
+    def test_formula_entries(self):
+        """e_{t,i} = sin(t / 10000^{2i/d}) for even i, cos otherwise."""
+        d = 8
+        table = sinusoidal_encoding(16, d)
+        for t in (0, 3, 11):
+            for i in range(d):
+                angle = t / (10000.0 ** (2 * (i // 2) / d))
+                expected = np.sin(angle) if i % 2 == 0 else np.cos(angle)
+                assert table[t, i] == pytest.approx(expected, abs=1e-5)
+
+
+class TestEq17Metrics:
+    def test_metric_formulas(self, rng):
+        from repro.training import masked_mae, masked_mape, masked_rmse
+
+        x = rng.uniform(1, 10, size=50)
+        x_hat = x + rng.normal(0, 1, size=50)
+        assert masked_mae(x_hat, x, None) == pytest.approx(np.abs(x - x_hat).mean())
+        assert masked_rmse(x_hat, x, None) == pytest.approx(
+            np.sqrt(np.square(x - x_hat).mean())
+        )
+        assert masked_mape(x_hat, x, None) == pytest.approx(
+            (np.abs(x - x_hat) / x).mean() * 100.0, rel=1e-6
+        )
+
+
+class TestEq13and14DynamicGraph:
+    def test_dynamic_feature_assembly_and_mask(self, rng):
+        """DF = Concat[FC(X), T^D, T^W, E] and P^dy = P ⊙ softmax(QK^T/√d)."""
+        from repro.core import DynamicGraphLearner
+
+        T = 3
+        learner = DynamicGraphLearner(history=T, hidden_dim=D, embed_dim=D)
+        x_np = rng.normal(size=(1, T, N, D)).astype(np.float32)
+        t_day = rng.normal(size=(1, T, D)).astype(np.float32)
+        t_week = rng.normal(size=(1, T, D)).astype(np.float32)
+        e_u = rng.normal(size=(N, D)).astype(np.float32)
+        e_d = rng.normal(size=(N, D)).astype(np.float32)
+        p_f = rng.uniform(0, 1, size=(N, N)).astype(np.float32)
+        p_f = p_f / p_f.sum(axis=1, keepdims=True)
+        p_b = p_f.T.copy()
+
+        out_f, out_b = learner(
+            Tensor(x_np), Tensor(t_day), Tensor(t_week),
+            Tensor(e_u), Tensor(e_d), p_f, p_b,
+        )
+
+        # Recompute DF^u by hand: FC over the flattened per-node history,
+        # concatenated with the window's last time embeddings and E^u.
+        history = x_np[0].transpose(1, 0, 2).reshape(N, T * D)
+        l0, l1 = learner.feature_fc.layers
+        dynamic = relu(history @ l0.weight.data + l0.bias.data) @ l1.weight.data + l1.bias.data
+        df_u = np.concatenate(
+            [
+                dynamic,
+                np.repeat(t_day[0, T - 1][None], N, axis=0),
+                np.repeat(t_week[0, T - 1][None], N, axis=0),
+                e_u,
+            ],
+            axis=1,
+        )
+        q = df_u @ learner.w_q.weight.data
+        k = df_u @ learner.w_k.weight.data
+        mask = softmax(q @ k.T / np.sqrt(D), axis=-1)
+        np.testing.assert_allclose(out_f.numpy()[0], p_f * mask, rtol=1e-3, atol=1e-5)
+
+
+class TestEq15OutputSummation:
+    def test_head_consumes_sum_of_all_forecasts(self, rng):
+        """Ŷ = MLP( Σ_l (H_f^dif,l + H_f^inh,l) ) — verified by recomputing
+        the head on the externally-collected forecast sum."""
+        from repro.core import D2STGNN, D2STGNNConfig
+        from repro.tensor import no_grad
+
+        config = D2STGNNConfig(
+            num_nodes=N, steps_per_day=288, hidden_dim=8, embed_dim=4,
+            num_layers=2, num_heads=2, history=4, horizon=3, dropout=0.0,
+        )
+        adjacency = rng.uniform(0.1, 1.0, size=(N, N)).astype(np.float32)
+        model = D2STGNN(config, adjacency)
+        model.eval()
+        x = rng.normal(size=(2, 4, N, 1)).astype(np.float32)
+        tod = rng.integers(0, 288, size=(2, 4))
+        dow = rng.integers(0, 7, size=(2, 4))
+
+        with no_grad():
+            expected = model(x, tod, dow).numpy()
+            # Re-run the layer loop manually and apply the head to the sum.
+            latent = model.input_projection(Tensor(x))
+            t_day, t_week = model.embeddings.time_features(tod, dow)
+            supports = model._supports(latent, t_day, t_week)
+            total = None
+            current = latent
+            for layer in model.layers:
+                current, f_dif, f_inh = layer(
+                    current, supports, t_day, t_week,
+                    model.embeddings.node_source, model.embeddings.node_target,
+                )
+                piece = f_dif + f_inh
+                total = piece if total is None else total + piece
+            manual = model.head(total).numpy()
+        np.testing.assert_allclose(expected, manual, atol=1e-5)

@@ -1,0 +1,125 @@
+"""Semantics of the autodiff engine: graph recording, backward, no_grad."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, is_grad_enabled, no_grad
+
+
+class TestGraphRecording:
+    def test_leaf_has_no_parents(self):
+        a = Tensor([1.0], requires_grad=True)
+        assert a._parents == ()
+
+    def test_result_requires_grad_propagates(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = Tensor([2.0])
+        assert (a + b).requires_grad
+        assert not (b + b).requires_grad
+
+    def test_no_grad_blocks_recording(self):
+        a = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            out = a * 2.0
+        assert not out.requires_grad
+
+    def test_no_grad_restores_state(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_no_grad_restores_on_exception(self):
+        with pytest.raises(ValueError):
+            with no_grad():
+                raise ValueError("boom")
+        assert is_grad_enabled()
+
+    def test_detach_severs_graph(self):
+        a = Tensor([3.0], requires_grad=True)
+        b = (a * 2.0).detach()
+        assert not b.requires_grad
+        assert b.numpy() is (a * 2.0).numpy() or np.array_equal(b.numpy(), [6.0])
+
+
+class TestBackward:
+    def test_scalar_backward_default_grad(self):
+        a = Tensor([2.0, 3.0], requires_grad=True)
+        (a * a).sum().backward()
+        np.testing.assert_allclose(a.grad, [4.0, 6.0])
+
+    def test_nonscalar_backward_requires_grad_argument(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (a * 2.0).backward()
+
+    def test_backward_with_explicit_grad(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        (a * 3.0).backward(np.array([1.0, 10.0], dtype=np.float32))
+        np.testing.assert_allclose(a.grad, [3.0, 30.0])
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_grad_accumulates_across_backward_calls(self):
+        a = Tensor([1.0], requires_grad=True)
+        (a * 2.0).sum().backward()
+        (a * 2.0).sum().backward()
+        np.testing.assert_allclose(a.grad, [4.0])
+
+    def test_zero_grad(self):
+        a = Tensor([1.0], requires_grad=True)
+        (a * 2.0).sum().backward()
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_shared_subexpression_counted_once_per_use(self):
+        a = Tensor([2.0], requires_grad=True)
+        b = a * 3.0
+        (b + b).sum().backward()  # d/da (6a) = 6
+        np.testing.assert_allclose(a.grad, [6.0])
+
+    def test_diamond_graph(self):
+        a = Tensor([2.0], requires_grad=True)
+        b = a * 2.0
+        c = a * 3.0
+        (b * c).sum().backward()  # d/da (6 a^2) = 12 a = 24
+        np.testing.assert_allclose(a.grad, [24.0])
+
+    def test_deep_chain_does_not_overflow(self):
+        # RNN-length chains must not hit the recursion limit (iterative DFS).
+        a = Tensor([1.0], requires_grad=True)
+        x = a
+        for _ in range(3000):
+            x = x + 0.001
+        x.sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0])
+
+    def test_intermediate_grads_are_freed(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = a * 2.0
+        b.sum().backward()
+        assert b.grad is None  # intermediates freed eagerly
+        assert a.grad is not None  # leaves keep theirs
+
+
+class TestDtypeAndConstruction:
+    def test_float64_is_downcast(self):
+        a = Tensor(np.zeros(3, dtype=np.float64))
+        assert a.dtype == np.float32
+
+    def test_python_list_accepted(self):
+        a = Tensor([[1.0, 2.0]])
+        assert a.shape == (1, 2)
+
+    def test_item_and_len(self):
+        assert Tensor([5.0]).item() == 5.0
+        assert len(Tensor([1.0, 2.0, 3.0])) == 3
+
+    def test_repr_mentions_requires_grad(self):
+        assert "requires_grad=True" in repr(Tensor([1.0], requires_grad=True))
+
+    def test_t_property_transposes(self):
+        a = Tensor(np.arange(6, dtype=np.float32).reshape(2, 3))
+        assert a.T.shape == (3, 2)

@@ -1,0 +1,103 @@
+"""The extended tensor ops: clip, softplus, gelu, min, pad_axis, split."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, gradcheck
+
+
+def t(shape, rng, scale=1.0):
+    return Tensor((rng.normal(size=shape) * scale).astype(np.float32), requires_grad=True)
+
+
+class TestClip:
+    def test_values(self):
+        a = Tensor(np.array([-2.0, 0.0, 2.0], np.float32))
+        np.testing.assert_array_equal(a.clip(-1.0, 1.0).numpy(), [-1.0, 0.0, 1.0])
+
+    def test_one_sided(self):
+        a = Tensor(np.array([-2.0, 2.0], np.float32))
+        np.testing.assert_array_equal(a.clip(low=0.0).numpy(), [0.0, 2.0])
+        np.testing.assert_array_equal(a.clip(high=0.0).numpy(), [-2.0, 0.0])
+
+    def test_requires_a_bound(self):
+        with pytest.raises(ValueError):
+            Tensor(np.zeros(2, np.float32)).clip()
+
+    def test_gradient_zero_outside(self, rng):
+        a = Tensor(np.array([-2.0, 0.5, 2.0], np.float32), requires_grad=True)
+        a.clip(-1.0, 1.0).sum().backward()
+        np.testing.assert_array_equal(a.grad, [0.0, 1.0, 0.0])
+
+    def test_gradcheck(self, rng):
+        gradcheck(lambda a: a.clip(-0.4, 0.6), [t((5,), rng)])
+
+
+class TestSoftplus:
+    def test_positive_everywhere(self, rng):
+        out = t((20,), rng, 3.0).softplus().numpy()
+        assert np.all(out > 0)
+
+    def test_stable_for_large_inputs(self):
+        a = Tensor(np.array([-500.0, 500.0], np.float32))
+        out = a.softplus().numpy()
+        assert np.isfinite(out).all()
+        assert out[1] == pytest.approx(500.0, rel=1e-5)
+
+    def test_gradcheck(self, rng):
+        gradcheck(lambda a: a.softplus(), [t((4, 3), rng)])
+
+
+class TestGelu:
+    def test_known_values(self):
+        a = Tensor(np.array([0.0], np.float32))
+        assert a.gelu().numpy()[0] == pytest.approx(0.0)
+        assert Tensor(np.array([10.0], np.float32)).gelu().numpy()[0] == pytest.approx(10.0, rel=1e-4)
+
+    def test_gradcheck(self, rng):
+        gradcheck(lambda a: a.gelu(), [t((4, 3), rng)])
+
+
+class TestMin:
+    def test_matches_numpy(self, rng):
+        a = t((3, 5), rng)
+        np.testing.assert_allclose(a.min(axis=1).numpy(), a.numpy().min(axis=1), rtol=1e-6)
+
+    def test_gradcheck(self, rng):
+        a = Tensor(rng.permutation(15).reshape(3, 5).astype(np.float32), requires_grad=True)
+        gradcheck(lambda a: a.min(axis=0), [a])
+
+
+class TestPad:
+    def test_shapes_and_values(self, rng):
+        a = t((2, 3), rng)
+        out = a.pad_axis(1, before=2, after=1)
+        assert out.shape == (2, 6)
+        np.testing.assert_array_equal(out.numpy()[:, :2], np.zeros((2, 2)))
+        np.testing.assert_array_equal(out.numpy()[:, 2:5], a.numpy())
+
+    def test_negative_padding_rejected(self, rng):
+        with pytest.raises(ValueError):
+            t((2, 2), rng).pad_axis(0, before=-1)
+
+    def test_gradcheck(self, rng):
+        gradcheck(lambda a: a.pad_axis(0, 1, 2).tanh(), [t((2, 3), rng)])
+
+
+class TestSplit:
+    def test_chunks(self, rng):
+        a = t((2, 6), rng)
+        parts = a.split(3, axis=1)
+        assert len(parts) == 3
+        for i, part in enumerate(parts):
+            np.testing.assert_array_equal(part.numpy(), a.numpy()[:, 2 * i : 2 * i + 2])
+
+    def test_uneven_rejected(self, rng):
+        with pytest.raises(ValueError):
+            t((2, 5), rng).split(2, axis=1)
+
+    def test_gradients_flow_to_all_chunks(self, rng):
+        a = t((4,), rng)
+        left, right = a.split(2)
+        (left * 2.0 + right * 3.0).sum().backward()
+        np.testing.assert_array_equal(a.grad, [2.0, 2.0, 3.0, 3.0])

@@ -1,0 +1,85 @@
+"""Composite functions: softmax, log-softmax, losses."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, functional as F, gradcheck
+
+
+def t(shape, rng, scale=1.0):
+    return Tensor((rng.normal(size=shape) * scale).astype(np.float32), requires_grad=True)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        out = F.softmax(t((4, 6), rng)).numpy()
+        np.testing.assert_allclose(out.sum(axis=-1), np.ones(4), rtol=1e-5)
+
+    def test_axis_argument(self, rng):
+        out = F.softmax(t((4, 6), rng), axis=0).numpy()
+        np.testing.assert_allclose(out.sum(axis=0), np.ones(6), rtol=1e-5)
+
+    def test_stability_with_large_logits(self):
+        out = F.softmax(Tensor(np.array([[1000.0, 1000.0]], dtype=np.float32))).numpy()
+        np.testing.assert_allclose(out, [[0.5, 0.5]])
+
+    def test_gradcheck(self, rng):
+        gradcheck(lambda a: F.softmax(a) * Tensor(np.arange(6, dtype=np.float32)), [t((3, 6), rng)])
+
+    def test_log_softmax_matches_log_of_softmax(self, rng):
+        a = t((3, 5), rng)
+        np.testing.assert_allclose(
+            F.log_softmax(a).numpy(), np.log(F.softmax(a).numpy()), atol=1e-5
+        )
+
+    def test_log_softmax_gradcheck(self, rng):
+        gradcheck(lambda a: F.log_softmax(a, axis=0).tanh(), [t((4, 3), rng)])
+
+
+class TestLosses:
+    def test_mae_matches_numpy(self, rng):
+        a, b = t((5, 3), rng), t((5, 3), rng)
+        expected = np.abs(a.numpy() - b.numpy()).mean()
+        assert F.mae_loss(a, b).item() == pytest.approx(expected, rel=1e-5)
+
+    def test_mse_matches_numpy(self, rng):
+        a, b = t((5, 3), rng), t((5, 3), rng)
+        expected = np.square(a.numpy() - b.numpy()).mean()
+        assert F.mse_loss(a, b).item() == pytest.approx(expected, rel=1e-4)
+
+    def test_mae_gradcheck(self, rng):
+        a = t((4, 2), rng)
+        gradcheck(lambda a: F.mae_loss(a, Tensor(np.ones((4, 2), np.float32))), [a])
+
+    def test_masked_mae_ignores_nulls(self):
+        pred = Tensor(np.array([1.0, 2.0, 3.0], dtype=np.float32))
+        target = Tensor(np.array([2.0, 0.0, 5.0], dtype=np.float32))
+        # Only positions 0 and 2 count: (1 + 2) / 2 = 1.5
+        assert F.masked_mae_loss(pred, target).item() == pytest.approx(1.5)
+
+    def test_masked_mae_all_null_is_zero(self):
+        pred = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+        target = Tensor(np.zeros(3, dtype=np.float32))
+        loss = F.masked_mae_loss(pred, target)
+        assert loss.item() == 0.0
+        loss.backward()  # must not crash; gradient is zero
+        np.testing.assert_allclose(pred.grad, np.zeros(3))
+
+    def test_masked_mae_equals_mae_without_nulls(self, rng):
+        a = Tensor(rng.uniform(1, 2, (6,)).astype(np.float32))
+        b = Tensor(rng.uniform(1, 2, (6,)).astype(np.float32))
+        assert F.masked_mae_loss(a, b).item() == pytest.approx(F.mae_loss(a, b).item(), rel=1e-5)
+
+    def test_huber_quadratic_inside_delta(self):
+        pred = Tensor(np.array([0.5], dtype=np.float32))
+        target = Tensor(np.array([0.0], dtype=np.float32))
+        assert F.huber_loss(pred, target, delta=1.0).item() == pytest.approx(0.125)
+
+    def test_huber_linear_outside_delta(self):
+        pred = Tensor(np.array([3.0], dtype=np.float32))
+        target = Tensor(np.array([0.0], dtype=np.float32))
+        assert F.huber_loss(pred, target, delta=1.0).item() == pytest.approx(2.5)
+
+    def test_huber_gradcheck(self, rng):
+        a = t((6,), rng, scale=2.0)
+        gradcheck(lambda a: F.huber_loss(a, Tensor(np.zeros(6, np.float32))), [a])

@@ -1,0 +1,201 @@
+"""Gradient checks for every primitive op of the autodiff engine."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, gradcheck
+
+
+def t(shape, rng, scale=1.0):
+    return Tensor((rng.normal(size=shape) * scale).astype(np.float32), requires_grad=True)
+
+
+class TestElementwiseBinary:
+    def test_add(self, rng):
+        a, b = t((3, 4), rng), t((3, 4), rng)
+        gradcheck(lambda a, b: a + b, [a, b])
+
+    def test_add_broadcast(self, rng):
+        a, b = t((3, 4), rng), t((4,), rng)
+        gradcheck(lambda a, b: a + b, [a, b])
+
+    def test_add_scalar(self, rng):
+        a = t((3,), rng)
+        gradcheck(lambda a: a + 2.5, [a])
+
+    def test_sub(self, rng):
+        a, b = t((2, 3), rng), t((2, 3), rng)
+        gradcheck(lambda a, b: a - b, [a, b])
+
+    def test_rsub(self, rng):
+        a = t((3,), rng)
+        gradcheck(lambda a: 1.0 - a, [a])
+
+    def test_mul(self, rng):
+        a, b = t((3, 4), rng), t((3, 4), rng)
+        gradcheck(lambda a, b: a * b, [a, b])
+
+    def test_mul_broadcast_rows(self, rng):
+        a, b = t((3, 4), rng), t((3, 1), rng)
+        gradcheck(lambda a, b: a * b, [a, b])
+
+    def test_div(self, rng):
+        a, b = t((3, 3), rng), Tensor(rng.uniform(1.0, 2.0, (3, 3)).astype(np.float32), requires_grad=True)
+        gradcheck(lambda a, b: a / b, [a, b])
+
+    def test_pow(self, rng):
+        a = Tensor(rng.uniform(0.5, 2.0, (4,)).astype(np.float32), requires_grad=True)
+        gradcheck(lambda a: a**3.0, [a])
+
+    def test_pow_requires_scalar(self, rng):
+        a = t((2,), rng)
+        with pytest.raises(TypeError):
+            a ** np.array([1.0, 2.0])
+
+    def test_neg(self, rng):
+        a = t((5,), rng)
+        gradcheck(lambda a: -a, [a])
+
+
+class TestUnary:
+    def test_exp(self, rng):
+        gradcheck(lambda a: a.exp(), [t((3, 3), rng, 0.5)])
+
+    def test_log(self, rng):
+        a = Tensor(rng.uniform(0.5, 3.0, (3, 3)).astype(np.float32), requires_grad=True)
+        gradcheck(lambda a: a.log(), [a])
+
+    def test_sqrt(self, rng):
+        a = Tensor(rng.uniform(0.5, 3.0, (4,)).astype(np.float32), requires_grad=True)
+        gradcheck(lambda a: a.sqrt(), [a])
+
+    def test_tanh(self, rng):
+        gradcheck(lambda a: a.tanh(), [t((3, 4), rng)])
+
+    def test_sigmoid(self, rng):
+        gradcheck(lambda a: a.sigmoid(), [t((3, 4), rng)])
+
+    def test_sigmoid_extreme_values_stable(self):
+        a = Tensor(np.array([-100.0, 0.0, 100.0], dtype=np.float32))
+        out = a.sigmoid().numpy()
+        assert np.all(np.isfinite(out))
+        assert out[0] == pytest.approx(0.0, abs=1e-6)
+        assert out[2] == pytest.approx(1.0, abs=1e-6)
+
+    def test_relu(self, rng):
+        a = Tensor(np.array([-1.0, 0.5, 2.0], dtype=np.float32), requires_grad=True)
+        gradcheck(lambda a: a.relu(), [a])
+
+    def test_abs(self, rng):
+        a = Tensor(np.array([-1.5, 0.7, 2.0], dtype=np.float32), requires_grad=True)
+        gradcheck(lambda a: a.abs(), [a])
+
+    def test_leaky_relu(self, rng):
+        a = Tensor(np.array([-2.0, 1.0], dtype=np.float32), requires_grad=True)
+        gradcheck(lambda a: a.leaky_relu(0.1), [a])
+        out = a.leaky_relu(0.1).numpy()
+        assert out[0] == pytest.approx(-0.2)
+
+
+class TestMatmul:
+    def test_2d(self, rng):
+        a, b = t((3, 4), rng), t((4, 5), rng)
+        gradcheck(lambda a, b: a @ b, [a, b])
+
+    def test_batched(self, rng):
+        a, b = t((2, 3, 4), rng), t((2, 4, 5), rng)
+        gradcheck(lambda a, b: a @ b, [a, b])
+
+    def test_broadcast_batch(self, rng):
+        a, b = t((2, 5, 3, 4), rng), t((4, 6), rng)
+        gradcheck(lambda a, b: a @ b, [a, b])
+
+    def test_left_constant(self, rng):
+        p = np.eye(3, dtype=np.float32) * 2.0
+        b = t((3, 4), rng)
+        gradcheck(lambda b: Tensor(p) @ b, [b])
+        np.testing.assert_allclose((Tensor(p) @ b).numpy(), 2.0 * b.numpy(), rtol=1e-5)
+
+
+class TestReductions:
+    def test_sum_all(self, rng):
+        gradcheck(lambda a: a.sum(), [t((3, 4), rng)])
+
+    def test_sum_axis(self, rng):
+        gradcheck(lambda a: a.sum(axis=1), [t((3, 4), rng)])
+
+    def test_sum_keepdims(self, rng):
+        gradcheck(lambda a: a.sum(axis=0, keepdims=True), [t((3, 4), rng)])
+
+    def test_mean_matches_numpy(self, rng):
+        a = t((3, 4), rng)
+        np.testing.assert_allclose(a.mean(axis=1).numpy(), a.numpy().mean(axis=1), rtol=1e-5)
+
+    def test_mean_grad(self, rng):
+        gradcheck(lambda a: a.mean(axis=(0, 1)), [t((3, 4), rng)])
+
+    def test_max_axis(self, rng):
+        a = Tensor(rng.permutation(12).reshape(3, 4).astype(np.float32), requires_grad=True)
+        gradcheck(lambda a: a.max(axis=1), [a])
+
+    def test_max_value(self, rng):
+        a = t((3, 4), rng)
+        np.testing.assert_allclose(a.max().numpy(), a.numpy().max())
+
+
+class TestShape:
+    def test_reshape(self, rng):
+        gradcheck(lambda a: a.reshape(2, 6) * 2.0, [t((3, 4), rng)])
+
+    def test_transpose(self, rng):
+        gradcheck(lambda a: a.transpose(1, 0).exp(), [t((3, 4), rng)])
+
+    def test_transpose_nd(self, rng):
+        gradcheck(lambda a: a.transpose(0, 2, 1, 3).tanh(), [t((2, 3, 4, 2), rng)])
+
+    def test_swapaxes(self, rng):
+        a = t((2, 3, 4), rng)
+        np.testing.assert_array_equal(a.swapaxes(1, 2).numpy(), a.numpy().swapaxes(1, 2))
+
+    def test_expand_dims_squeeze_roundtrip(self, rng):
+        a = t((3, 4), rng)
+        out = a.expand_dims(1).squeeze(1)
+        np.testing.assert_array_equal(out.numpy(), a.numpy())
+        gradcheck(lambda a: a.expand_dims(0) * 3.0, [a])
+
+    def test_broadcast_to(self, rng):
+        a = t((1, 4), rng)
+        gradcheck(lambda a: a.broadcast_to((3, 4)) * 2.0, [a])
+
+    def test_getitem_slice(self, rng):
+        gradcheck(lambda a: a[1:3, ::2], [t((4, 6), rng)])
+
+    def test_getitem_int_array(self, rng):
+        a = t((5, 3), rng)
+        idx = np.array([0, 2, 2, 4])
+        gradcheck(lambda a: a[idx], [a])
+
+    def test_getitem_repeated_index_accumulates(self, rng):
+        a = t((3,), rng)
+        out = a[np.array([1, 1, 1])].sum()
+        out.backward()
+        assert a.grad[1] == pytest.approx(3.0)
+
+
+class TestCombinators:
+    def test_concatenate(self, rng):
+        a, b = t((2, 3), rng), t((2, 5), rng)
+        gradcheck(lambda a, b: Tensor.concatenate([a, b], axis=1).tanh(), [a, b])
+
+    def test_stack(self, rng):
+        a, b = t((2, 3), rng), t((2, 3), rng)
+        gradcheck(lambda a, b: Tensor.stack([a, b], axis=1) * 2.0, [a, b])
+
+    def test_where(self, rng):
+        a, b = t((4,), rng), t((4,), rng)
+        cond = np.array([True, False, True, False])
+        gradcheck(lambda a, b: Tensor.where(cond, a, b), [a, b])
+
+    def test_zeros_ones(self):
+        assert Tensor.zeros((2, 3)).numpy().sum() == 0.0
+        assert Tensor.ones((2, 3)).numpy().sum() == 6.0

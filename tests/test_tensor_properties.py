@@ -1,0 +1,107 @@
+"""Hypothesis property-based tests on the autodiff engine's invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.tensor import Tensor, functional as F
+
+finite_floats = st.floats(
+    min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False, width=32
+)
+
+
+def arrays(max_side=5, min_dims=1, max_dims=3):
+    shapes = hnp.array_shapes(min_dims=min_dims, max_dims=max_dims, min_side=1, max_side=max_side)
+    return hnp.arrays(np.float32, shapes, elements=finite_floats)
+
+
+@given(arrays())
+@settings(max_examples=50, deadline=None)
+def test_add_backward_is_ones(data):
+    a = Tensor(data, requires_grad=True)
+    (a + 1.0).sum().backward()
+    np.testing.assert_allclose(a.grad, np.ones_like(data))
+
+
+@given(arrays())
+@settings(max_examples=50, deadline=None)
+def test_mul_by_self_gradient_is_two_x(data):
+    a = Tensor(data, requires_grad=True)
+    (a * a).sum().backward()
+    np.testing.assert_allclose(a.grad, 2.0 * data, rtol=1e-4, atol=1e-4)
+
+
+@given(arrays())
+@settings(max_examples=50, deadline=None)
+def test_softmax_is_distribution(data):
+    out = F.softmax(Tensor(data), axis=-1).numpy()
+    assert np.all(out >= 0.0)
+    np.testing.assert_allclose(out.sum(axis=-1), np.ones(out.shape[:-1]), rtol=1e-4)
+
+
+@given(arrays())
+@settings(max_examples=50, deadline=None)
+def test_softmax_invariant_to_shift(data):
+    a = F.softmax(Tensor(data), axis=-1).numpy()
+    b = F.softmax(Tensor(data + 3.0), axis=-1).numpy()
+    np.testing.assert_allclose(a, b, atol=1e-5)
+
+
+@given(arrays())
+@settings(max_examples=50, deadline=None)
+def test_relu_never_negative_and_identity_on_positive(data):
+    out = Tensor(data).relu().numpy()
+    assert np.all(out >= 0.0)
+    positive = data > 0
+    np.testing.assert_array_equal(out[positive], data[positive])
+
+
+@given(arrays(max_dims=2))
+@settings(max_examples=50, deadline=None)
+def test_reshape_preserves_values_and_gradients(data):
+    a = Tensor(data, requires_grad=True)
+    flat = a.reshape(-1)
+    np.testing.assert_array_equal(np.sort(flat.numpy()), np.sort(data.ravel()))
+    (flat * 2.0).sum().backward()
+    np.testing.assert_allclose(a.grad, np.full_like(data, 2.0))
+
+
+@given(arrays(min_dims=2, max_dims=2))
+@settings(max_examples=50, deadline=None)
+def test_transpose_is_involution(data):
+    a = Tensor(data)
+    np.testing.assert_array_equal(a.T.T.numpy(), data)
+
+
+@given(arrays())
+@settings(max_examples=50, deadline=None)
+def test_abs_backward_matches_sign(data)    :
+    a = Tensor(data, requires_grad=True)
+    a.abs().sum().backward()
+    np.testing.assert_allclose(a.grad, np.sign(data))
+
+
+@given(arrays(min_dims=2, max_dims=2), st.integers(min_value=0, max_value=1))
+@settings(max_examples=50, deadline=None)
+def test_sum_axis_matches_numpy(data, axis):
+    a = Tensor(data)
+    np.testing.assert_allclose(a.sum(axis=axis).numpy(), data.sum(axis=axis), rtol=1e-4, atol=1e-4)
+
+
+@given(arrays())
+@settings(max_examples=50, deadline=None)
+def test_sigmoid_bounded_and_symmetric(data):
+    out = Tensor(data).sigmoid().numpy()
+    assert np.all((out >= 0.0) & (out <= 1.0))
+    mirrored = Tensor(-data).sigmoid().numpy()
+    np.testing.assert_allclose(out + mirrored, np.ones_like(out), atol=1e-5)
+
+
+@given(arrays(min_dims=1, max_dims=1), arrays(min_dims=1, max_dims=1))
+@settings(max_examples=50, deadline=None)
+def test_masked_mae_nonnegative(pred, target):
+    n = min(pred.shape[0], target.shape[0])
+    loss = F.masked_mae_loss(Tensor(pred[:n]), Tensor(target[:n]))
+    assert loss.item() >= 0.0

@@ -1,0 +1,199 @@
+"""Metrics, curriculum, early stopping, trainer, significance test."""
+
+import numpy as np
+import pytest
+
+from repro.core import D2STGNN, D2STGNNConfig
+from repro.training import (
+    CurriculumSchedule,
+    EarlyStopping,
+    Trainer,
+    TrainerConfig,
+    evaluate_horizons,
+    format_horizon_report,
+    masked_mae,
+    masked_mape,
+    masked_rmse,
+    paired_t_test,
+)
+
+
+class TestMetrics:
+    def test_mae_manual(self):
+        pred = np.array([1.0, 2.0, 3.0])
+        target = np.array([2.0, 2.0, 5.0])
+        assert masked_mae(pred, target, null_value=None) == pytest.approx(1.0)
+
+    def test_rmse_manual(self):
+        pred = np.array([0.0, 0.0])
+        target = np.array([3.0, 4.0])
+        assert masked_rmse(pred, target, null_value=None) == pytest.approx(np.sqrt(12.5))
+
+    def test_mape_is_percentage(self):
+        pred = np.array([110.0])
+        target = np.array([100.0])
+        assert masked_mape(pred, target) == pytest.approx(10.0)
+
+    def test_masking_excludes_zeros(self):
+        pred = np.array([1.0, 100.0])
+        target = np.array([2.0, 0.0])
+        assert masked_mae(pred, target) == pytest.approx(1.0)
+
+    def test_all_masked_gives_nan(self):
+        assert np.isnan(masked_mae(np.ones(3), np.zeros(3)))
+
+    def test_rmse_at_least_mae(self, rng):
+        pred = rng.normal(size=100)
+        target = rng.normal(size=100)
+        assert masked_rmse(pred, target, None) >= masked_mae(pred, target, None)
+
+    def test_evaluate_horizons_keys(self, rng):
+        pred = rng.normal(size=(10, 12, 4, 1))
+        target = rng.uniform(1, 2, size=(10, 12, 4, 1))
+        report = evaluate_horizons(pred, target)
+        assert set(report) == {"3", "6", "12", "avg"}
+        assert set(report["3"]) == {"mae", "rmse", "mape"}
+
+    def test_evaluate_horizons_validates_length(self, rng):
+        pred = rng.normal(size=(10, 6, 4, 1))
+        with pytest.raises(ValueError):
+            evaluate_horizons(pred, pred, horizons=(12,))
+
+    def test_format_report_contains_all_rows(self, rng):
+        pred = rng.normal(size=(5, 12, 2, 1))
+        target = rng.uniform(1, 2, size=(5, 12, 2, 1))
+        text = format_horizon_report("model", evaluate_horizons(pred, target))
+        assert "horizon 3" in text and "average" in text and "MAPE" in text
+
+
+class TestCurriculum:
+    def test_disabled_gives_full_horizon(self):
+        schedule = CurriculumSchedule(12, step_every=4, enabled=False)
+        assert schedule.active_horizon == 12
+
+    def test_starts_at_one(self):
+        assert CurriculumSchedule(12, step_every=4).active_horizon == 1
+
+    def test_increments_every_step_every(self):
+        schedule = CurriculumSchedule(12, step_every=3)
+        horizons = []
+        for _ in range(9):
+            horizons.append(schedule.active_horizon)
+            schedule.step()
+        assert horizons == [1, 1, 1, 2, 2, 2, 3, 3, 3]
+
+    def test_saturates_at_horizon(self):
+        schedule = CurriculumSchedule(2, step_every=1)
+        for _ in range(10):
+            schedule.step()
+        assert schedule.active_horizon == 2
+        assert schedule.saturated
+
+    def test_validates_arguments(self):
+        with pytest.raises(ValueError):
+            CurriculumSchedule(0)
+        with pytest.raises(ValueError):
+            CurriculumSchedule(12, step_every=0)
+
+
+class TestEarlyStopping:
+    def test_keeps_best_state(self):
+        stopper = EarlyStopping(patience=2)
+        stopper.update(3.0, {"w": np.array([1.0])})
+        stopper.update(2.0, {"w": np.array([2.0])})
+        stopper.update(2.5, {"w": np.array([3.0])})
+        assert stopper.best_loss == 2.0
+        np.testing.assert_array_equal(stopper.best_state["w"], [2.0])
+
+    def test_stops_after_patience(self):
+        stopper = EarlyStopping(patience=2)
+        assert not stopper.update(1.0, {})
+        assert not stopper.update(1.5, {})
+        assert stopper.update(1.4, {})
+
+    def test_improvement_resets_counter(self):
+        stopper = EarlyStopping(patience=2)
+        stopper.update(1.0, {})
+        stopper.update(1.5, {})
+        stopper.update(0.9, {})
+        assert stopper.bad_epochs == 0
+
+    def test_nan_counts_as_bad(self):
+        stopper = EarlyStopping(patience=1)
+        assert stopper.update(float("nan"), {})
+
+    def test_validates_patience(self):
+        with pytest.raises(ValueError):
+            EarlyStopping(patience=0)
+
+
+class TestTrainer:
+    @pytest.fixture()
+    def model(self, tiny_data):
+        config = D2STGNNConfig(
+            num_nodes=tiny_data.dataset.num_nodes,
+            steps_per_day=tiny_data.steps_per_day,
+            hidden_dim=8, embed_dim=4, num_layers=1, num_heads=2, dropout=0.0,
+        )
+        return D2STGNN(config, tiny_data.adjacency)
+
+    def test_loss_decreases(self, model, tiny_data):
+        trainer = Trainer(model, tiny_data, TrainerConfig(epochs=2, batch_size=16))
+        history = trainer.train()
+        assert history.epochs_run == 2
+        assert history.train_loss[-1] < history.train_loss[0]
+
+    def test_evaluate_report_structure(self, model, tiny_data):
+        trainer = Trainer(model, tiny_data, TrainerConfig(epochs=1, batch_size=32))
+        trainer.train()
+        report = trainer.evaluate()
+        assert set(report) == {"3", "6", "12", "avg"}
+        assert report["avg"]["mae"] > 0
+
+    def test_best_state_restored(self, model, tiny_data):
+        trainer = Trainer(model, tiny_data, TrainerConfig(epochs=2, batch_size=32, patience=1))
+        trainer.train()
+        best_epoch = int(np.argmin(trainer.history.val_mae))
+        # After restore, validation equals the best epoch's value.
+        assert trainer.validate() == pytest.approx(
+            trainer.history.val_mae[best_epoch], rel=1e-5
+        )
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TrainerConfig(epochs=0)
+        with pytest.raises(ValueError):
+            TrainerConfig(batch_size=0)
+
+    def test_history_timing_recorded(self, model, tiny_data):
+        trainer = Trainer(model, tiny_data, TrainerConfig(epochs=1, batch_size=64))
+        history = trainer.train()
+        assert history.mean_epoch_seconds > 0
+
+
+class TestSignificance:
+    def test_identical_models_not_significant(self, rng):
+        target = rng.uniform(1, 2, size=(50, 4, 3, 1))
+        pred = target + rng.normal(0, 0.1, size=target.shape)
+        result = paired_t_test(pred, pred.copy(), target)
+        assert not result.significant()
+
+    def test_clearly_better_model_significant(self, rng):
+        target = rng.uniform(1, 2, size=(80, 4, 3, 1))
+        good = target + rng.normal(0, 0.05, size=target.shape)
+        bad = target + rng.normal(0, 0.5, size=target.shape)
+        result = paired_t_test(good, bad, target)
+        assert result.significant()
+        assert result.mean_difference < 0
+
+    def test_worse_model_not_flagged(self, rng):
+        target = rng.uniform(1, 2, size=(80, 4, 3, 1))
+        good = target + rng.normal(0, 0.05, size=target.shape)
+        bad = target + rng.normal(0, 0.5, size=target.shape)
+        result = paired_t_test(bad, good, target)
+        assert not result.significant()  # significant but in the wrong direction
+
+    def test_shape_mismatch_rejected(self, rng):
+        a = rng.normal(size=(5, 2))
+        with pytest.raises(ValueError):
+            paired_t_test(a, a, rng.normal(size=(6, 2)))

@@ -1,0 +1,79 @@
+"""Grid search and LR-scheduler integration in the trainer."""
+
+import numpy as np
+import pytest
+
+from repro.core import D2STGNN, D2STGNNConfig
+from repro.training import GridResult, Trainer, TrainerConfig, grid_search
+
+
+def build(data, **overrides):
+    defaults = dict(
+        num_nodes=data.dataset.num_nodes, steps_per_day=data.steps_per_day,
+        hidden_dim=8, embed_dim=4, num_layers=1, num_heads=2, dropout=0.0,
+    )
+    defaults.update(overrides)
+    return D2STGNN(D2STGNNConfig(**defaults), data.adjacency)
+
+
+class TestGridSearch:
+    def test_empty_grid_rejected(self, tiny_data):
+        with pytest.raises(ValueError):
+            grid_search(lambda: None, tiny_data, {})
+        with pytest.raises(ValueError):
+            grid_search(lambda: None, tiny_data, {"k_s": []})
+
+    def test_results_sorted_and_complete(self, tiny_data):
+        results = grid_search(
+            lambda k_s: build(tiny_data, k_s=k_s),
+            tiny_data,
+            {"k_s": [1, 2]},
+            trainer_config=TrainerConfig(epochs=1, batch_size=64),
+        )
+        assert len(results) == 2
+        assert results[0].val_mae <= results[1].val_mae
+        assert {r.params["k_s"] for r in results} == {1, 2}
+        assert all(isinstance(r, GridResult) for r in results)
+        assert all("avg" in r.test_report for r in results)
+
+    def test_cartesian_product(self, tiny_data):
+        results = grid_search(
+            lambda k_s, k_t: build(tiny_data, k_s=k_s, k_t=k_t),
+            tiny_data,
+            {"k_s": [1, 2], "k_t": [1, 2]},
+            trainer_config=TrainerConfig(epochs=1, batch_size=128),
+        )
+        assert len(results) == 4
+        assert {(r.params["k_s"], r.params["k_t"]) for r in results} == {
+            (1, 1), (1, 2), (2, 1), (2, 2)
+        }
+
+    def test_deterministic_given_seed(self, tiny_data):
+        def run():
+            return grid_search(
+                lambda k_s: build(tiny_data, k_s=k_s),
+                tiny_data,
+                {"k_s": [2]},
+                trainer_config=TrainerConfig(epochs=1, batch_size=128),
+                seed=3,
+            )[0].val_mae
+
+        assert run() == pytest.approx(run())
+
+
+class TestLRSchedulerIntegration:
+    def test_lr_decays_during_training(self, tiny_data):
+        model = build(tiny_data)
+        trainer = Trainer(
+            model, tiny_data,
+            TrainerConfig(epochs=2, batch_size=64, lr_decay_epochs=1, lr_decay_gamma=0.5),
+        )
+        trainer.train()
+        assert trainer.optimizer.lr == pytest.approx(0.001 * 0.25)
+
+    def test_disabled_by_default(self, tiny_data):
+        model = build(tiny_data)
+        trainer = Trainer(model, tiny_data, TrainerConfig(epochs=1, batch_size=128))
+        assert trainer.scheduler is None
+        trainer.train()
+        assert trainer.optimizer.lr == pytest.approx(0.001)

@@ -1,0 +1,62 @@
+"""Seeding and timing utilities."""
+
+import time
+
+import numpy as np
+
+from repro.utils import Timer, get_rng, set_seed, spawn_rng
+
+
+class TestSeed:
+    def test_set_seed_reproducible(self):
+        set_seed(42)
+        a = get_rng().random(5)
+        set_seed(42)
+        b = get_rng().random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        set_seed(1)
+        a = get_rng().random(5)
+        set_seed(2)
+        b = get_rng().random(5)
+        assert not np.array_equal(a, b)
+
+    def test_spawn_rng_independent(self):
+        set_seed(7)
+        child = spawn_rng()
+        before = get_rng().random(3)
+        child.random(100)  # consuming the child must not affect the parent
+        set_seed(7)
+        spawn_rng()
+        after = get_rng().random(3)
+        np.testing.assert_array_equal(before, after)
+
+
+class TestTimer:
+    def test_counts_laps(self):
+        timer = Timer()
+        for _ in range(3):
+            with timer:
+                pass
+        assert timer.stats.count == 3
+        assert len(timer.stats.laps) == 3
+
+    def test_measures_elapsed(self):
+        timer = Timer()
+        with timer:
+            time.sleep(0.02)
+        assert timer.stats.total >= 0.015
+
+    def test_mean_min_max(self):
+        timer = Timer()
+        with timer:
+            time.sleep(0.01)
+        with timer:
+            pass
+        stats = timer.stats
+        assert stats.minimum <= stats.mean <= stats.maximum
+
+    def test_empty_stats_are_zero(self):
+        stats = Timer().stats
+        assert stats.mean == 0.0 and stats.minimum == 0.0 and stats.maximum == 0.0

@@ -1,0 +1,69 @@
+"""ASCII plotting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils import bar_chart, side_by_side, sparkline
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_monotone_series_monotone_glyphs(self):
+        levels = " .:-=+*#%@"
+        line = sparkline(np.linspace(0, 1, 10))
+        ranks = [levels.index(c) for c in line]
+        assert ranks == sorted(ranks)
+
+    def test_constant_series_does_not_crash(self):
+        assert sparkline([5.0, 5.0, 5.0]) == "   "
+
+    def test_pinned_range_clips(self):
+        line = sparkline([100.0], lo=0.0, hi=1.0)
+        assert line == "@"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            sparkline(np.zeros((2, 2)))
+
+
+class TestBarChart:
+    def test_sorted_ascending(self):
+        chart = bar_chart({"big": 10.0, "small": 1.0})
+        lines = chart.splitlines()
+        assert lines[0].startswith("small")
+        assert lines[1].startswith("big")
+
+    def test_longest_bar_for_max(self):
+        chart = bar_chart({"a": 1.0, "b": 4.0}, width=8)
+        a_line, b_line = chart.splitlines()
+        assert a_line.count("#") < b_line.count("#")
+
+    def test_unit_suffix(self):
+        assert "s" in bar_chart({"x": 2.0}, unit="s")
+
+    def test_empty(self):
+        assert bar_chart({}) == ""
+
+
+class TestSideBySide:
+    def test_shared_scale(self):
+        out = side_by_side({"lo": np.zeros(4), "hi": np.full(4, 10.0)})
+        lo_line, hi_line = out.splitlines()
+        assert lo_line.endswith("    ")  # all at the bottom glyph
+        assert hi_line.endswith("@@@@")
+
+    def test_labels_aligned(self):
+        out = side_by_side({"a": [1.0], "longer": [2.0]})
+        a_line, longer_line = out.splitlines()
+        # Sparklines start at the same column for every label.
+        assert len(a_line) == len(longer_line)
+        assert a_line.startswith("a     ")
+        assert longer_line.startswith("longer")
+
+    def test_empty(self):
+        assert side_by_side({}) == ""
