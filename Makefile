@@ -1,12 +1,18 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test bench bench-full experiments examples clean
+.PHONY: install test bench bench-full experiments examples clean docs-check profile
 
 install:
 	pip install -e .
 
 test:
 	pytest tests/
+
+docs-check:
+	pytest tests/test_docs_examples.py tests/test_api_quality.py -q
+
+profile:
+	python -m repro profile --dataset metr-la-sim --model d2stgnn --out BENCH_profile.json
 
 test-output:
 	pytest tests/ 2>&1 | tee test_output.txt

@@ -16,8 +16,6 @@ accuracy machinery.
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 import pytest
 
@@ -26,6 +24,7 @@ from benchmarks.paper_reference import FIG6_EPOCH_SECONDS
 from repro.optim import Adam, clip_grad_norm
 from repro.tensor import Tensor, functional as F
 from repro.utils.seed import set_seed
+from repro.utils.timer import now
 
 MODELS = ("GraphWaveNet", "MTGNN", "GMAN", "DGCRN", "D2STGNN+", "D2STGNN")
 
@@ -62,10 +61,10 @@ def _steady_state_epoch_seconds(name: str, data) -> float:
     # the robust estimator of the model's intrinsic cost.
     per_batch = float("inf")
     for _ in range(2):
-        start = time.perf_counter()
+        start = now()
         for batch in batches[WARMUP_BATCHES:]:
             step(batch)
-        elapsed = (time.perf_counter() - start) / max(1, len(batches) - WARMUP_BATCHES)
+        elapsed = (now() - start) / max(1, len(batches) - WARMUP_BATCHES)
         per_batch = min(per_batch, elapsed)
     batches_per_epoch = int(np.ceil(len(data.train) / batch_size))
     return per_batch * batches_per_epoch

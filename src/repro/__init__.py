@@ -20,9 +20,9 @@ Quickstart::
     print(trainer.evaluate())
 """
 
-from . import analysis, baselines, core, data, experiments, graph, nn, optim, tensor, training, utils
+from . import analysis, baselines, core, data, experiments, graph, nn, obs, optim, tensor, training, utils
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -33,6 +33,7 @@ __all__ = [
     "experiments",
     "graph",
     "nn",
+    "obs",
     "optim",
     "tensor",
     "training",

@@ -5,6 +5,7 @@
     python -m repro train --dataset metr-la-sim --model D2STGNN --epochs 4 \
                           --checkpoint model.npz
     python -m repro evaluate --checkpoint model.npz --dataset metr-la-sim
+    python -m repro profile --dataset metr-la-sim --model d2stgnn
 
 Everything the CLI does is a thin layer over the public API; see
 examples/ for the same flows in code.
@@ -13,6 +14,7 @@ examples/ for the same flows in code.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -42,6 +44,15 @@ MODEL_NAMES = (
     "ASTGCN", "STSGCN", "GMAN", "MTGNN", "DGCRN", "D2STGNN",
 )
 STATISTICAL = ("HA", "VAR", "SVR")
+
+
+def _canonical_model(name: str) -> str:
+    """Resolve a case-insensitive model name to its Table 3 spelling."""
+    lookup = {candidate.lower(): candidate for candidate in MODEL_NAMES}
+    try:
+        return lookup[name.lower()]
+    except KeyError:
+        raise SystemExit(f"unknown model {name!r}; choose from {MODEL_NAMES}") from None
 
 
 def _get_data(args):
@@ -132,12 +143,19 @@ def cmd_train(args) -> int:
         model.fit(data)
         print(f"fit {args.model} (no gradient training needed)")
     else:
+        from .obs import FileSink
+
         print(f"training {args.model} ({model.num_parameters():,} parameters)")
+        sink = FileSink(args.telemetry) if args.telemetry else None
         trainer = Trainer(
             model, data,
             TrainerConfig(epochs=args.epochs, batch_size=args.batch_size, verbose=True, seed=args.seed),
+            sink=sink,
         )
         trainer.train()
+        if sink is not None:
+            sink.close()
+            print(f"telemetry -> {args.telemetry}")
     trainer = Trainer(model, data) if args.model not in STATISTICAL else None
     from .training import evaluate_horizons, predict_split
 
@@ -152,6 +170,72 @@ def cmd_train(args) -> int:
         print(f"\ncheckpoint -> {path}")
     elif args.checkpoint:
         print("\n(statistical models carry no parameters; checkpoint skipped)")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    """``repro profile``: op-level hotspot profile of real training steps.
+
+    Runs a few warm-up steps uninstrumented, then profiles forward +
+    backward + optimizer steps under :class:`repro.obs.Profiler`, prints the
+    top-k op and module-scope tables, and writes the machine-readable
+    baseline (schema ``repro.obs.profile/v1``) to ``--out``.
+    """
+    from .obs import Profiler, annotate_model_scopes
+    from .optim import Adam, clip_grad_norm
+    from .tensor import Tensor, functional as F
+
+    name = _canonical_model(args.model)
+    if name in STATISTICAL:
+        raise SystemExit(f"{name} is a statistical model: no tensor ops to profile")
+    if args.batches < 1:
+        raise SystemExit("--batches must be >= 1")
+    if args.warmup < 0:
+        raise SystemExit("--warmup must be >= 0")
+    set_seed(args.seed)
+    data = _get_data(args)
+    model, _ = _build_model(name, data, args.hidden, args.layers)
+    annotate_model_scopes(model)
+    optimizer = Adam(model.parameters(), lr=0.001)
+    scaler = data.scaler
+    loader = data.loader("train", batch_size=args.batch_size, shuffle=False)
+    batches = []
+    for batch in loader:
+        batches.append(batch)
+        if len(batches) >= args.warmup + args.batches:
+            break
+
+    def step(batch) -> None:
+        optimizer.zero_grad()
+        prediction = model(batch.x, batch.tod, batch.dow) * scaler.std + scaler.mean
+        loss = F.masked_mae_loss(prediction, Tensor(batch.y))
+        loss.backward()
+        clip_grad_norm(model.parameters(), 5.0)
+        optimizer.step()
+
+    for batch in batches[: args.warmup]:
+        step(batch)
+    profiled = batches[args.warmup :]
+    with Profiler() as prof:
+        for batch in profiled:
+            step(batch)
+
+    print(f"profiled {len(profiled)} training steps of {name} on {args.dataset} "
+          f"(batch size {args.batch_size}, {model.num_parameters():,} parameters)\n")
+    print(prof.format_table(top=args.top))
+    payload = {
+        "generated_by": "repro profile",
+        "model": name,
+        "dataset": args.dataset,
+        "batches": len(profiled),
+        "batch_size": args.batch_size,
+        "num_parameters": model.num_parameters(),
+        **prof.to_dict(),
+    }
+    out = Path(args.out)
+    with open(out, "w") as handle:
+        json.dump(payload, handle, indent=2)
+    print(f"\n{prof.distinct_ops()} distinct ops -> {out}")
     return 0
 
 
@@ -201,6 +285,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--steps", type=int, default=None)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--checkpoint", default=None, help="where to save the trained model")
+    p.add_argument("--telemetry", default=None,
+                   help="write per-epoch JSON-lines telemetry to this file")
     p.set_defaults(fn=cmd_train)
 
     p = sub.add_parser("evaluate", help="evaluate a saved checkpoint")
@@ -210,6 +296,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--nodes", type=int, default=None)
     p.add_argument("--steps", type=int, default=None)
     p.set_defaults(fn=cmd_evaluate)
+
+    p = sub.add_parser("profile", help="profile op-level hotspots of training steps")
+    p.add_argument("--dataset", default="metr-la-sim",
+                   help="preset name or a .npz written by `repro simulate`")
+    p.add_argument("--model", default="D2STGNN",
+                   help="model name (case-insensitive); statistical models are rejected")
+    p.add_argument("--batches", type=int, default=2, help="training steps to profile")
+    p.add_argument("--warmup", type=int, default=1, help="uninstrumented steps first")
+    p.add_argument("--batch-size", type=int, default=32)
+    p.add_argument("--hidden", type=int, default=16)
+    p.add_argument("--layers", type=int, default=2)
+    p.add_argument("--nodes", type=int, default=None)
+    p.add_argument("--steps", type=int, default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--top", type=int, default=10, help="rows in the printed tables")
+    p.add_argument("--out", default="BENCH_profile.json",
+                   help="where to write the machine-readable profile")
+    p.set_defaults(fn=cmd_profile)
 
     return parser
 

@@ -1,0 +1,313 @@
+"""Op-level profiler for the tensor engine.
+
+:class:`Profiler` answers "where does a training step spend its time?" on
+the numpy substrate, the way ``torch.profiler`` would on the original
+implementation.  While active it records, for every primitive tensor op and
+every composite in :data:`repro.tensor.functional.PROFILED_COMPOSITES`:
+
+* **count** — how many times the op executed,
+* **time** — inclusive wall-clock seconds (shared clock, `repro.utils.now`),
+* **bytes** — output allocation for forward ops, incoming-gradient size for
+  backward ops,
+
+split by **phase** (``forward`` / ``backward``), plus a named-scope
+breakdown of :class:`~repro.nn.Module` forward calls (inclusive and self
+time per scope).
+
+Zero overhead when disabled
+---------------------------
+Forward ops are instrumented by *swapping* the methods on ``Tensor`` (and
+the composite functions on ``repro.tensor.functional``) for timed wrappers
+on ``__enter__`` and restoring the originals on ``__exit__`` — outside a
+profiling block the original, unmodified code runs.  The backward pass and
+module scoping use the pre-wired hook points in ``repro.tensor.tensor`` and
+``repro.nn.module``, which cost a single global read and a predicted branch
+when no profiler is active.
+
+Usage::
+
+    from repro.obs import Profiler
+
+    with Profiler() as prof:
+        loss = model(batch.x, batch.tod, batch.dow).sum()
+        loss.backward()
+    print(prof.format_table(top=10))
+    payload = prof.to_dict()          # JSON-ready
+
+Only one profiler may be active at a time (nesting raises).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+
+from ..nn import module as _module_mod
+from ..nn.module import Module
+from ..tensor import functional as _functional
+from ..tensor import tensor as _tensor_mod
+from ..tensor.tensor import Tensor
+from ..utils.timer import now
+
+__all__ = ["OpStat", "ScopeStat", "Profiler", "annotate_model_scopes"]
+
+# (attribute on Tensor, recorded op name, is_staticmethod).  Reflexive
+# dunders (__radd__ etc.) alias the same underlying function but are looked
+# up as distinct class attributes, so they are listed separately.
+_TENSOR_OPS: tuple[tuple[str, str, bool], ...] = (
+    ("__add__", "add", False),
+    ("__radd__", "add", False),
+    ("__sub__", "sub", False),
+    ("__rsub__", "sub", False),
+    ("__mul__", "mul", False),
+    ("__rmul__", "mul", False),
+    ("__truediv__", "div", False),
+    ("__rtruediv__", "div", False),
+    ("__neg__", "neg", False),
+    ("__pow__", "pow", False),
+    ("__matmul__", "matmul", False),
+    ("__rmatmul__", "matmul", False),
+    ("__getitem__", "getitem", False),
+    ("exp", "exp", False),
+    ("log", "log", False),
+    ("sqrt", "sqrt", False),
+    ("tanh", "tanh", False),
+    ("sigmoid", "sigmoid", False),
+    ("relu", "relu", False),
+    ("abs", "abs", False),
+    ("leaky_relu", "leaky_relu", False),
+    ("clip", "clip", False),
+    ("softplus", "softplus", False),
+    ("gelu", "gelu", False),
+    ("sum", "sum", False),
+    ("mean", "mean", False),
+    ("max", "max", False),
+    ("min", "min", False),
+    ("reshape", "reshape", False),
+    ("transpose", "transpose", False),
+    ("swapaxes", "swapaxes", False),
+    ("expand_dims", "expand_dims", False),
+    ("squeeze", "squeeze", False),
+    ("broadcast_to", "broadcast", False),
+    ("pad_axis", "pad", False),
+    ("split", "split", False),
+    ("concatenate", "concat", True),
+    ("stack", "stack", True),
+    ("where", "where", True),
+)
+
+SCHEMA = "repro.obs.profile/v1"
+
+
+def _result_nbytes(value) -> int:
+    """Bytes allocated by an op's result (tensor, or a list of tensors)."""
+    if isinstance(value, Tensor):
+        return int(value.data.nbytes)
+    if isinstance(value, (list, tuple)):
+        return sum(_result_nbytes(item) for item in value)
+    return 0
+
+
+@dataclass
+class OpStat:
+    """Aggregate record for one (op, phase) pair."""
+
+    op: str
+    phase: str
+    count: int = 0
+    time: float = 0.0
+    bytes: int = 0
+
+    def to_dict(self) -> dict:
+        """JSON-ready mapping with ``op/phase/count/time/bytes`` keys."""
+        return {
+            "op": self.op,
+            "phase": self.phase,
+            "count": self.count,
+            "time": self.time,
+            "bytes": self.bytes,
+        }
+
+
+@dataclass
+class ScopeStat:
+    """Aggregate record for one module scope (see ``Module.scope_name``)."""
+
+    scope: str
+    count: int = 0
+    time: float = 0.0        # inclusive of child module calls
+    self_time: float = 0.0   # exclusive: time minus child module calls
+
+    def to_dict(self) -> dict:
+        """JSON-ready mapping with ``scope/count/time/self_time`` keys."""
+        return {
+            "scope": self.scope,
+            "count": self.count,
+            "time": self.time,
+            "self_time": self.self_time,
+        }
+
+
+@dataclass
+class _ScopeFrame:
+    name: str
+    start: float
+    child_time: float = 0.0
+
+
+class Profiler:
+    """Context manager that instruments the tensor engine while active.
+
+    See the module docstring for the measurement model.  Attributes after
+    (or during) a run:
+
+    ``ops``
+        ``{(op, phase): OpStat}`` aggregates.
+    ``scopes``
+        ``{scope_name: ScopeStat}`` module-forward aggregates.
+    ``elapsed``
+        wall-clock seconds the profiling block spanned.
+    """
+
+    _active: "Profiler | None" = None  # class-level: at most one at a time
+
+    def __init__(self) -> None:
+        self.ops: dict[tuple[str, str], OpStat] = {}
+        self.scopes: dict[str, ScopeStat] = {}
+        self.elapsed: float = 0.0
+        self._saved: list[tuple[object, str, object]] = []
+        self._scope_stack: list[_ScopeFrame] = []
+        self._started: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def _record(self, op: str, phase: str, seconds: float, nbytes: int) -> None:
+        key = (op, phase)
+        stat = self.ops.get(key)
+        if stat is None:
+            stat = self.ops[key] = OpStat(op=op, phase=phase)
+        stat.count += 1
+        stat.time += seconds
+        stat.bytes += nbytes
+
+    def _backward_hook(self, node: Tensor) -> None:
+        grad = node.grad
+        start = now()
+        node._backward(grad)
+        self._record(node._op or "leaf", "backward", now() - start,
+                     int(grad.nbytes) if grad is not None else 0)
+
+    @contextlib.contextmanager
+    def _scope_hook(self, module: Module):
+        frame = _ScopeFrame(module.scope_name, now())
+        self._scope_stack.append(frame)
+        try:
+            yield
+        finally:
+            self._scope_stack.pop()
+            total = now() - frame.start
+            stat = self.scopes.get(frame.name)
+            if stat is None:
+                stat = self.scopes[frame.name] = ScopeStat(scope=frame.name)
+            stat.count += 1
+            stat.time += total
+            stat.self_time += total - frame.child_time
+            if self._scope_stack:
+                self._scope_stack[-1].child_time += total
+
+    def _wrap_forward(self, fn, op_name: str):
+        def profiled(*args, **kwargs):
+            start = now()
+            out = fn(*args, **kwargs)
+            self._record(op_name, "forward", now() - start, _result_nbytes(out))
+            return out
+
+        profiled.__name__ = getattr(fn, "__name__", op_name)
+        profiled.__doc__ = fn.__doc__
+        return profiled
+
+    # ------------------------------------------------------------------
+    # Instrumentation lifecycle
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "Profiler":
+        if Profiler._active is not None:
+            raise RuntimeError("a Profiler is already active; profilers do not nest")
+        Profiler._active = self
+        self._started = now()
+        for attr, op_name, is_static in _TENSOR_OPS:
+            original = Tensor.__dict__[attr]
+            self._saved.append((Tensor, attr, original))
+            fn = original.__func__ if is_static else original
+            wrapped = self._wrap_forward(fn, op_name)
+            setattr(Tensor, attr, staticmethod(wrapped) if is_static else wrapped)
+        for name in _functional.PROFILED_COMPOSITES:
+            original = getattr(_functional, name)
+            self._saved.append((_functional, name, original))
+            setattr(_functional, name, self._wrap_forward(original, name))
+        _tensor_mod._set_backward_op_hook(self._backward_hook)
+        _module_mod._set_forward_scope_hook(self._scope_hook)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        _tensor_mod._set_backward_op_hook(None)
+        _module_mod._set_forward_scope_hook(None)
+        for target, attr, original in reversed(self._saved):
+            setattr(target, attr, original)
+        self._saved.clear()
+        self.elapsed += now() - self._started
+        Profiler._active = None
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def top_ops(self, k: int = 10) -> list[OpStat]:
+        """The ``k`` hottest (op, phase) aggregates by inclusive time."""
+        return sorted(self.ops.values(), key=lambda s: s.time, reverse=True)[:k]
+
+    def distinct_ops(self) -> int:
+        """Number of distinct op names seen (phases collapsed)."""
+        return len({op for op, _ in self.ops})
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary: schema tag, totals, per-op and per-scope rows."""
+        ops = sorted(self.ops.values(), key=lambda s: s.time, reverse=True)
+        scopes = sorted(self.scopes.values(), key=lambda s: s.time, reverse=True)
+        return {
+            "schema": SCHEMA,
+            "elapsed_seconds": self.elapsed if self.elapsed else now() - self._started,
+            "distinct_ops": self.distinct_ops(),
+            "ops": [stat.to_dict() for stat in ops],
+            "scopes": [stat.to_dict() for stat in scopes],
+        }
+
+    def format_table(self, top: int = 10) -> str:
+        """Human-readable top-``top`` op table plus the scope breakdown."""
+        lines = [f"{'op':<16} {'phase':<9} {'count':>8} {'time s':>9} {'MB':>9}"]
+        for stat in self.top_ops(top):
+            lines.append(
+                f"{stat.op:<16} {stat.phase:<9} {stat.count:>8} "
+                f"{stat.time:>9.4f} {stat.bytes / 1e6:>9.2f}"
+            )
+        if self.scopes:
+            lines.append("")
+            lines.append(f"{'scope':<26} {'calls':>8} {'incl s':>9} {'self s':>9}")
+            ranked = sorted(self.scopes.values(), key=lambda s: s.self_time, reverse=True)
+            for stat in ranked[:top]:
+                lines.append(
+                    f"{stat.scope:<26} {stat.count:>8} {stat.time:>9.4f} {stat.self_time:>9.4f}"
+                )
+        return "\n".join(lines)
+
+
+def annotate_model_scopes(model: Module) -> Module:
+    """Annotate every submodule with its dotted path from ``named_modules``.
+
+    Turns the profiler's scope table from class names (``Linear``) into
+    positions in the model tree (``layers.0.diffusion.fc``).  Returns the
+    model for chaining.
+    """
+    for path, module in model.named_modules():
+        if path:
+            module.annotate_scope(path)
+    return model

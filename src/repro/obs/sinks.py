@@ -1,0 +1,99 @@
+"""Pluggable sinks for structured telemetry records (JSON lines).
+
+A :class:`MetricsSink` receives flat ``dict`` records — one per event, e.g.
+one per training epoch — and serialises them somewhere.  The concrete sinks:
+
+* :class:`StdoutSink` — one JSON object per line to a stream (default
+  ``sys.stdout``); pipe-friendly.
+* :class:`FileSink` — appends JSON lines to a file; the standard choice for
+  keeping a run's telemetry next to its checkpoint.
+* :class:`MemorySink` — keeps records in a list; for tests and notebooks.
+
+Records must be JSON-serialisable.  The schema of the trainer's records is
+documented in ``docs/observability.md`` and produced by
+:mod:`repro.obs.telemetry`.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+__all__ = ["MetricsSink", "StdoutSink", "FileSink", "MemorySink", "read_jsonl"]
+
+
+class MetricsSink:
+    """Interface: receives structured records; subclasses serialise them."""
+
+    def emit(self, record: dict) -> None:
+        """Consume one telemetry record (a JSON-serialisable dict)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush/release any underlying resource (no-op by default)."""
+
+    def __enter__(self) -> "MetricsSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class StdoutSink(MetricsSink):
+    """Write each record as one JSON line to a stream (default stdout)."""
+
+    def __init__(self, stream=None) -> None:
+        self.stream = stream if stream is not None else sys.stdout
+
+    def emit(self, record: dict) -> None:
+        """Serialise ``record`` as a single JSON line and flush."""
+        self.stream.write(json.dumps(record, sort_keys=True) + "\n")
+        self.stream.flush()
+
+
+class FileSink(MetricsSink):
+    """Append each record as one JSON line to ``path``.
+
+    The file is opened lazily on the first record and closed by
+    :meth:`close` (or the context-manager exit).
+    """
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self._handle = None
+
+    def emit(self, record: dict) -> None:
+        """Serialise ``record`` as one JSON line appended to the file."""
+        if self._handle is None:
+            self._handle = open(self.path, "a")
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        """Close the underlying file handle if it was opened."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class MemorySink(MetricsSink):
+    """Collect records in ``self.records`` (shallow copies); for tests."""
+
+    def __init__(self) -> None:
+        self.records: list[dict] = []
+
+    def emit(self, record: dict) -> None:
+        """Append a copy of ``record`` to :attr:`records`."""
+        self.records.append(dict(record))
+
+
+def read_jsonl(path) -> list[dict]:
+    """Parse a JSON-lines file (as written by :class:`FileSink`) into dicts."""
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

@@ -1,0 +1,91 @@
+"""Training-telemetry record construction (the trainer's JSON-lines schema).
+
+The :class:`~repro.training.Trainer` emits one record per epoch plus one
+end-of-run summary through a :class:`~repro.obs.sinks.MetricsSink`.  This
+module owns the record layout so the schema lives in exactly one place; it
+is documented for consumers in ``docs/observability.md``.
+
+Every record carries ``schema`` (:data:`TELEMETRY_SCHEMA`) and ``event``
+(``"epoch"`` or ``"train_end"``) keys.
+"""
+
+from __future__ import annotations
+
+import resource
+import sys
+
+__all__ = [
+    "TELEMETRY_SCHEMA",
+    "epoch_record",
+    "train_end_record",
+    "memory_high_water_mark_bytes",
+]
+
+TELEMETRY_SCHEMA = "repro.obs.telemetry/v1"
+
+
+def memory_high_water_mark_bytes() -> int:
+    """Peak resident-set size of this process, in bytes.
+
+    Reads ``ru_maxrss`` (kilobytes on Linux, bytes on macOS) — a cheap
+    syscall, safe to call once per epoch.  This is a *process-wide* high
+    water mark: it never decreases, so per-epoch deltas show only growth.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return int(peak) if sys.platform == "darwin" else int(peak) * 1024
+
+
+def epoch_record(
+    *,
+    epoch: int,
+    train_loss: float,
+    val_mae: float,
+    epoch_seconds: float,
+    windows: int,
+    grad_norm_mean: float,
+    grad_norm_max: float,
+    learning_rate: float,
+    active_horizon: int,
+    teacher_forcing_ratio: float | None,
+) -> dict:
+    """Build the per-epoch telemetry record.
+
+    ``windows`` is the number of training windows processed this epoch;
+    throughput is derived as ``windows / epoch_seconds``.
+    ``teacher_forcing_ratio`` is ``None`` when scheduled sampling is off.
+    """
+    return {
+        "schema": TELEMETRY_SCHEMA,
+        "event": "epoch",
+        "epoch": epoch,
+        "train_loss": train_loss,
+        "val_mae": val_mae,
+        "epoch_seconds": epoch_seconds,
+        "windows": windows,
+        "windows_per_second": windows / epoch_seconds if epoch_seconds > 0 else 0.0,
+        "grad_norm_mean": grad_norm_mean,
+        "grad_norm_max": grad_norm_max,
+        "learning_rate": learning_rate,
+        "active_horizon": active_horizon,
+        "teacher_forcing_ratio": teacher_forcing_ratio,
+        "memory_peak_bytes": memory_high_water_mark_bytes(),
+    }
+
+
+def train_end_record(
+    *,
+    epochs_run: int,
+    best_val_mae: float,
+    total_seconds: float,
+    early_stopped: bool,
+) -> dict:
+    """Build the end-of-run summary record."""
+    return {
+        "schema": TELEMETRY_SCHEMA,
+        "event": "train_end",
+        "epochs_run": epochs_run,
+        "best_val_mae": best_val_mae,
+        "total_seconds": total_seconds,
+        "early_stopped": early_stopped,
+        "memory_peak_bytes": memory_high_water_mark_bytes(),
+    }

@@ -21,7 +21,21 @@ __all__ = [
     "mse_loss",
     "masked_mae_loss",
     "huber_loss",
+    "PROFILED_COMPOSITES",
 ]
+
+# Composite functions the op-level profiler (repro.obs) wraps by name when
+# active.  Their recorded time is *inclusive* of the primitive ops they call;
+# the thin aliases (relu/sigmoid/tanh) are excluded since they add nothing
+# over the primitive entry of the same name.
+PROFILED_COMPOSITES = (
+    "softmax",
+    "log_softmax",
+    "mae_loss",
+    "mse_loss",
+    "masked_mae_loss",
+    "huber_loss",
+)
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:

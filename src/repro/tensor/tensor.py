@@ -35,6 +35,24 @@ DEFAULT_DTYPE = np.float32
 
 _GRAD_ENABLED = True
 
+# Observability hook (installed by repro.obs.profiler, None otherwise).  When
+# set, backward() routes each node's gradient closure through it so the
+# profiler can time individual backward ops.  The disabled path costs one
+# global read per backward() call plus a predicted branch per node — far below
+# the numpy work each node performs, so profiling is free when off.
+_BACKWARD_OP_HOOK: Callable[["Tensor"], None] | None = None
+
+
+def _set_backward_op_hook(hook: Callable[["Tensor"], None] | None) -> None:
+    """Install (or clear, with ``None``) the profiler's backward-op hook.
+
+    The hook receives each graph node in reverse-topological order and is
+    responsible for invoking ``node._backward(node.grad)`` itself, timing it
+    as it sees fit.  Used exclusively by :mod:`repro.obs.profiler`.
+    """
+    global _BACKWARD_OP_HOOK
+    _BACKWARD_OP_HOOK = hook
+
 
 @contextlib.contextmanager
 def no_grad():
@@ -209,9 +227,13 @@ class Tensor:
                     stack.append((parent, False))
 
         self._accumulate(grad)
+        hook = _BACKWARD_OP_HOOK
         for node in reversed(topo):
             if node._backward is not None and node.grad is not None:
-                node._backward(node.grad)
+                if hook is None:
+                    node._backward(node.grad)
+                else:
+                    hook(node)
                 # Free intermediate gradients and the tape eagerly; keep
                 # leaf gradients (parameters / explicit leaves).
                 node._backward = None

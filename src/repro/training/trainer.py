@@ -11,20 +11,28 @@ Seq2seq baselines whose forward accepts ``targets``/``teacher_forcing``
 (``TrainerConfig(scheduled_sampling=True)``): the decoder consumes the
 ground truth of the previous step with a probability that decays linearly
 to zero over ``sampling_decay_batches`` — the original DCRNN recipe.
+
+Telemetry: pass a :class:`~repro.obs.MetricsSink` as ``Trainer(...,
+sink=...)`` to receive one structured record per epoch (throughput in
+windows/sec, gradient norms, memory high-water mark, scheduled-sampling
+state) plus an end-of-run summary; the JSON-lines schema lives in
+:mod:`repro.obs.telemetry` and is documented in ``docs/observability.md``.
 """
 
 from __future__ import annotations
 
 import inspect
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..data.datasets import ForecastingData
 from ..nn.module import Module
+from ..obs.sinks import MetricsSink
+from ..obs.telemetry import epoch_record, train_end_record
 from ..optim import Adam, StepLR, clip_grad_norm
 from ..tensor import Tensor, functional as F
+from ..utils.timer import now
 from .curriculum import CurriculumSchedule
 from .early_stopping import EarlyStopping
 from .evaluation import evaluate_horizons, predict_split
@@ -66,6 +74,8 @@ class TrainingHistory:
     train_loss: list[float] = field(default_factory=list)
     val_mae: list[float] = field(default_factory=list)
     epoch_seconds: list[float] = field(default_factory=list)
+    grad_norm_mean: list[float] = field(default_factory=list)
+    windows_per_second: list[float] = field(default_factory=list)
 
     @property
     def epochs_run(self) -> int:
@@ -79,10 +89,17 @@ class TrainingHistory:
 class Trainer:
     """Fit a forecaster on a :class:`~repro.data.ForecastingData` bundle."""
 
-    def __init__(self, model: Module, data: ForecastingData, config: TrainerConfig | None = None) -> None:
+    def __init__(
+        self,
+        model: Module,
+        data: ForecastingData,
+        config: TrainerConfig | None = None,
+        sink: MetricsSink | None = None,
+    ) -> None:
         self.model = model
         self.data = data
         self.config = config or TrainerConfig()
+        self.sink = sink
         self.optimizer = Adam(
             model.parameters(),
             lr=self.config.learning_rate,
@@ -132,21 +149,26 @@ class Trainer:
             horizon, step_every=cfg.curriculum_step, enabled=cfg.curriculum
         )
         stopper = EarlyStopping(patience=cfg.patience)
+        run_start = now()
+        early_stopped = False
 
         for epoch in range(cfg.epochs):
-            start = time.perf_counter()
+            start = now()
             self.model.train()
             losses = []
+            grad_norms = []
+            windows = 0
             loader = self.data.loader("train", batch_size=cfg.batch_size, shuffle=True, rng=rng)
             for batch in loader:
                 self.optimizer.zero_grad()
                 loss = self._loss(batch, curriculum.active_horizon)
                 loss.backward()
-                clip_grad_norm(self.model.parameters(), cfg.clip_norm)
+                grad_norms.append(clip_grad_norm(self.model.parameters(), cfg.clip_norm))
                 self.optimizer.step()
                 losses.append(loss.item())
+                windows += batch.x.shape[0]
                 curriculum.step()
-            elapsed = time.perf_counter() - start
+            elapsed = now() - start
             if self.scheduler is not None:
                 self.scheduler.step()
 
@@ -155,16 +177,41 @@ class Trainer:
             self.history.train_loss.append(float(np.mean(losses)))
             self.history.val_mae.append(val_mae)
             self.history.epoch_seconds.append(elapsed)
+            self.history.grad_norm_mean.append(float(np.mean(grad_norms)) if grad_norms else 0.0)
+            self.history.windows_per_second.append(windows / elapsed if elapsed > 0 else 0.0)
             if cfg.verbose:
                 print(
                     f"epoch {epoch + 1:3d}  loss {np.mean(losses):8.4f}  "
                     f"val MAE {val_mae:8.4f}  ({elapsed:.1f}s)"
                 )
+            if self.sink is not None:
+                self.sink.emit(epoch_record(
+                    epoch=epoch + 1,
+                    train_loss=float(np.mean(losses)),
+                    val_mae=float(val_mae),
+                    epoch_seconds=elapsed,
+                    windows=windows,
+                    grad_norm_mean=float(np.mean(grad_norms)) if grad_norms else 0.0,
+                    grad_norm_max=float(np.max(grad_norms)) if grad_norms else 0.0,
+                    learning_rate=float(self.optimizer.lr),
+                    active_horizon=curriculum.active_horizon,
+                    teacher_forcing_ratio=(
+                        self._teacher_forcing_ratio() if self._supports_sampling else None
+                    ),
+                ))
             if stopper.update(val_mae, self.model.state_dict()):
+                early_stopped = True
                 break
 
         if stopper.best_state is not None:
             self.model.load_state_dict(stopper.best_state)
+        if self.sink is not None:
+            self.sink.emit(train_end_record(
+                epochs_run=self.history.epochs_run,
+                best_val_mae=float(stopper.best_loss),
+                total_seconds=now() - run_start,
+                early_stopped=early_stopped,
+            ))
         return self.history
 
     # ------------------------------------------------------------------

@@ -3,7 +3,7 @@
 from .ascii_plot import bar_chart, side_by_side, sparkline
 from .checkpoint import CheckpointError, load_checkpoint, save_checkpoint
 from .seed import get_rng, set_seed, spawn_rng
-from .timer import StopwatchStats, Timer
+from .timer import StopwatchStats, Timer, now
 
 __all__ = [
     "CheckpointError",
@@ -14,6 +14,7 @@ __all__ = [
     "Timer",
     "get_rng",
     "load_checkpoint",
+    "now",
     "save_checkpoint",
     "set_seed",
     "spawn_rng",

@@ -1,11 +1,27 @@
-"""Wall-clock timing helpers used by the efficiency experiment (Fig. 6)."""
+"""Wall-clock timing helpers: the library's shared clock and lap stopwatch.
+
+Every component that measures time — the :class:`Timer` stopwatch, the
+op-level profiler in :mod:`repro.obs`, the trainer's epoch timing and the
+benchmark harness — reads the same monotonic clock through :func:`now`, so
+measurements from different layers are directly comparable.
+"""
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
 
-__all__ = ["Timer", "StopwatchStats"]
+__all__ = ["Timer", "StopwatchStats", "now"]
+
+
+def now() -> float:
+    """The shared monotonic clock: seconds from ``time.perf_counter``.
+
+    All timing in the library (trainer epochs, profiler ops, benchmarks)
+    goes through this single function so the clock source can be swapped or
+    instrumented in one place.
+    """
+    return time.perf_counter()
 
 
 @dataclass
@@ -44,12 +60,12 @@ class Timer:
         self._start: float | None = None
 
     def __enter__(self) -> "Timer":
-        self._start = time.perf_counter()
+        self._start = now()
         return self
 
     def __exit__(self, *exc_info) -> None:
         assert self._start is not None
-        lap = time.perf_counter() - self._start
+        lap = now() - self._start
         self.stats.count += 1
         self.stats.total += lap
         self.stats.laps.append(lap)

@@ -24,6 +24,7 @@ PACKAGES = [
     "repro.baselines",
     "repro.training",
     "repro.utils",
+    "repro.obs",
 ]
 
 

@@ -62,6 +62,34 @@ class TestTrainEvaluate:
             main(["train", "--model", "NotAModel"])
 
 
+class TestProfile:
+    def test_profile_writes_baseline_json(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "profile.json"
+        code = main([
+            "profile", "--dataset", "metr-la-sim", "--model", "d2stgnn",
+            "--nodes", "6", "--steps", "420", "--hidden", "8", "--layers", "1",
+            "--batches", "1", "--out", str(out),
+        ])
+        assert code == 0
+        assert "distinct ops" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == "repro.obs.profile/v1"
+        assert payload["model"] == "D2STGNN"  # case-insensitive resolution
+        assert payload["distinct_ops"] >= 10
+        for row in payload["ops"]:
+            assert {"op", "phase", "count", "time", "bytes"} <= set(row)
+
+    def test_statistical_model_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["profile", "--model", "HA"])
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["profile", "--model", "NotAModel"])
+
+
 class TestExperiments:
     def test_registry_lists_every_bench(self, capsys):
         from repro.cli import main as cli_main

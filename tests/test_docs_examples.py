@@ -1,0 +1,88 @@
+"""Docs-consistency gate: fenced code in the docs must match the real API.
+
+Extracts fenced code blocks from ``docs/*.md``, ``README.md`` and
+``examples/README.md`` and checks them against the codebase:
+
+* every ```` ```python ```` block must *compile*;
+* every ``import repro...`` / ``from repro...`` line in those blocks must
+  *execute* — renamed or removed exports fail here;
+* every ``repro <subcommand>`` / ``python -m repro <subcommand>`` in any
+  fenced block must be a real CLI subcommand;
+* every ``make <target>`` in any fenced block must exist in the Makefile.
+
+Run via ``make docs-check`` (which also runs the API-quality gates).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+DOC_FILES = sorted(ROOT.glob("docs/*.md")) + [ROOT / "README.md", ROOT / "examples" / "README.md"]
+
+PYTHON_FENCE = re.compile(r"```python[ \t]*\n(.*?)```", re.DOTALL)
+ANY_FENCE = re.compile(r"```[a-z]*[ \t]*\n(.*?)```", re.DOTALL)
+IMPORT_LINE = re.compile(r"^(?:import repro\b.*|from repro[\w.]* import .*)$")
+CLI_INVOCATION = re.compile(r"(?:python -m repro|(?:^|\$ )repro) +([a-z][a-z-]*)", re.MULTILINE)
+MAKE_INVOCATION = re.compile(r"^make +([\w-]+)", re.MULTILINE)
+
+
+def _python_blocks() -> list:
+    params = []
+    for path in DOC_FILES:
+        for index, match in enumerate(PYTHON_FENCE.finditer(path.read_text())):
+            params.append(pytest.param(path, match.group(1), id=f"{path.name}-{index}"))
+    return params
+
+
+PYTHON_BLOCKS = _python_blocks()
+
+
+def test_docs_were_collected():
+    """The glob must keep finding the documentation set."""
+    assert len(DOC_FILES) >= 6
+    assert len(PYTHON_BLOCKS) >= 3
+
+
+@pytest.mark.parametrize("path,code", PYTHON_BLOCKS)
+def test_python_block_compiles(path, code):
+    """Every fenced Python example must be syntactically valid."""
+    compile(code, f"{path.name}:fenced-block", "exec")
+
+
+@pytest.mark.parametrize("path,code", PYTHON_BLOCKS)
+def test_import_lines_execute(path, code):
+    """Every `import repro...` / `from repro...` line must resolve."""
+    namespace: dict = {}
+    for line in code.splitlines():
+        stripped = line.strip()
+        if IMPORT_LINE.match(stripped):
+            exec(stripped, namespace)  # fails loudly on drifted exports
+
+
+def test_cli_subcommands_in_docs_exist():
+    """Any `repro <sub>` in a fenced block must be a real subcommand."""
+    from repro.cli import build_parser
+
+    subparsers = next(
+        action for action in build_parser()._actions
+        if isinstance(action, __import__("argparse")._SubParsersAction)
+    )
+    known = set(subparsers.choices)
+    for path in DOC_FILES:
+        for block in ANY_FENCE.findall(path.read_text()):
+            for command in CLI_INVOCATION.findall(block):
+                assert command in known, f"{path.name}: unknown subcommand {command!r}"
+
+
+def test_make_targets_in_docs_exist():
+    """Any `make <target>` in a fenced block must exist in the Makefile."""
+    makefile = (ROOT / "Makefile").read_text()
+    targets = set(re.findall(r"^([\w-]+):", makefile, re.MULTILINE))
+    for path in DOC_FILES:
+        for block in ANY_FENCE.findall(path.read_text()):
+            for target in MAKE_INVOCATION.findall(block):
+                assert target in targets, f"{path.name}: unknown make target {target!r}"
