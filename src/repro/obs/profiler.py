@@ -46,55 +46,11 @@ from ..nn import module as _module_mod
 from ..nn.module import Module
 from ..tensor import functional as _functional
 from ..tensor import tensor as _tensor_mod
+from ..tensor.ops_registry import TENSOR_OPS as _TENSOR_OPS
 from ..tensor.tensor import Tensor
 from ..utils.timer import now
 
 __all__ = ["OpStat", "ScopeStat", "Profiler", "annotate_model_scopes"]
-
-# (attribute on Tensor, recorded op name, is_staticmethod).  Reflexive
-# dunders (__radd__ etc.) alias the same underlying function but are looked
-# up as distinct class attributes, so they are listed separately.
-_TENSOR_OPS: tuple[tuple[str, str, bool], ...] = (
-    ("__add__", "add", False),
-    ("__radd__", "add", False),
-    ("__sub__", "sub", False),
-    ("__rsub__", "sub", False),
-    ("__mul__", "mul", False),
-    ("__rmul__", "mul", False),
-    ("__truediv__", "div", False),
-    ("__rtruediv__", "div", False),
-    ("__neg__", "neg", False),
-    ("__pow__", "pow", False),
-    ("__matmul__", "matmul", False),
-    ("__rmatmul__", "matmul", False),
-    ("__getitem__", "getitem", False),
-    ("exp", "exp", False),
-    ("log", "log", False),
-    ("sqrt", "sqrt", False),
-    ("tanh", "tanh", False),
-    ("sigmoid", "sigmoid", False),
-    ("relu", "relu", False),
-    ("abs", "abs", False),
-    ("leaky_relu", "leaky_relu", False),
-    ("clip", "clip", False),
-    ("softplus", "softplus", False),
-    ("gelu", "gelu", False),
-    ("sum", "sum", False),
-    ("mean", "mean", False),
-    ("max", "max", False),
-    ("min", "min", False),
-    ("reshape", "reshape", False),
-    ("transpose", "transpose", False),
-    ("swapaxes", "swapaxes", False),
-    ("expand_dims", "expand_dims", False),
-    ("squeeze", "squeeze", False),
-    ("broadcast_to", "broadcast", False),
-    ("pad_axis", "pad", False),
-    ("split", "split", False),
-    ("concatenate", "concat", True),
-    ("stack", "stack", True),
-    ("where", "where", True),
-)
 
 SCHEMA = "repro.obs.profile/v1"
 
@@ -178,6 +134,7 @@ class Profiler:
         self._saved: list[tuple[object, str, object]] = []
         self._scope_stack: list[_ScopeFrame] = []
         self._started: float = 0.0
+        self._previous_hook = None
 
     # ------------------------------------------------------------------
     # Recording
@@ -194,7 +151,12 @@ class Profiler:
     def _backward_hook(self, node: Tensor) -> None:
         grad = node.grad
         start = now()
-        node._backward(grad)
+        # Chain to any hook that was installed before this profiler (e.g. a
+        # repro.check sanitizer) — it is responsible for running the closure.
+        if self._previous_hook is None:
+            node._backward(grad)
+        else:
+            self._previous_hook(node)
         self._record(node._op or "leaf", "backward", now() - start,
                      int(grad.nbytes) if grad is not None else 0)
 
@@ -245,12 +207,13 @@ class Profiler:
             original = getattr(_functional, name)
             self._saved.append((_functional, name, original))
             setattr(_functional, name, self._wrap_forward(original, name))
+        self._previous_hook = _tensor_mod._BACKWARD_OP_HOOK
         _tensor_mod._set_backward_op_hook(self._backward_hook)
         _module_mod._set_forward_scope_hook(self._scope_hook)
         return self
 
     def __exit__(self, *exc_info) -> None:
-        _tensor_mod._set_backward_op_hook(None)
+        _tensor_mod._set_backward_op_hook(self._previous_hook)
         _module_mod._set_forward_scope_hook(None)
         for target, attr, original in reversed(self._saved):
             setattr(target, attr, original)

@@ -109,7 +109,14 @@ class Tensor:
         :meth:`backward`.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward", "_op")
+    # ``_version`` and ``_saved_versions`` back the in-place-mutation sanitizer
+    # (repro.check.sanitizers).  Both are left *unset* on construction — they
+    # cost nothing until a sanitizer is active — and are read with getattr
+    # defaults (version 0, no saved snapshot).
+    __slots__ = (
+        "data", "grad", "requires_grad", "_parents", "_backward", "_op",
+        "_version", "_saved_versions",
+    )
 
     def __init__(
         self,
@@ -171,6 +178,36 @@ class Tensor:
 
     def zero_grad(self) -> None:
         self.grad = None
+
+    # ------------------------------------------------------------------
+    # Sanctioned mutation
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Mutation counter read by the in-place-mutation sanitizer.
+
+        Bumped by :meth:`copy_` (and, while
+        ``repro.check.sanitizers.guard_mutations`` is active, by any
+        rebinding or augmented assignment of ``.data``).  A tensor saved for
+        backward whose version changed between forward and backward has had
+        its gradient inputs corrupted.
+        """
+        return getattr(self, "_version", 0)
+
+    def copy_(self, value) -> "Tensor":
+        """Overwrite ``.data`` with ``value`` (same shape) and bump :attr:`version`.
+
+        This is the sanctioned way to mutate a tensor's payload outside the
+        optimizers — it keeps the mutation counter honest, so the sanitizer
+        can still certify backward passes.  ``value`` is cast to the current
+        dtype and copied; returns ``self`` for chaining.
+        """
+        array = np.asarray(value)
+        if array.shape != self.data.shape:
+            raise ValueError(f"copy_ shape mismatch: {array.shape} vs {self.data.shape}")
+        self.data = array.astype(self.data.dtype, copy=True)
+        self._version = self.version + 1
+        return self
 
     # ------------------------------------------------------------------
     # Graph construction
