@@ -158,7 +158,7 @@ class Module:
             value = state[name]
             if value.shape != param.shape:
                 raise ValueError(f"shape mismatch for {name}: {value.shape} vs {param.shape}")
-            param.data = value.astype(param.data.dtype).copy()
+            param.copy_(value)
 
     # ------------------------------------------------------------------
     # Invocation
