@@ -34,14 +34,14 @@ def numerical_gradient(
     for i in range(flat_base.size):
         original = flat_base[i]
         flat_base[i] = original + eps
-        target.data = base.reshape(target.shape).astype(np.float32)
+        target.copy_(base.reshape(target.shape))
         plus = float(fn(*inputs).sum().item())
         flat_base[i] = original - eps
-        target.data = base.reshape(target.shape).astype(np.float32)
+        target.copy_(base.reshape(target.shape))
         minus = float(fn(*inputs).sum().item())
         flat_base[i] = original
         flat_grad[i] = (plus - minus) / (2.0 * eps)
-    target.data = base.reshape(target.shape).astype(np.float32)
+    target.copy_(base.reshape(target.shape))
     return grad
 
 
