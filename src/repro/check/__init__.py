@@ -1,0 +1,70 @@
+"""Correctness tooling for the autodiff engine and the model zoo.
+
+Three passes, complementing the observability layer (:mod:`repro.obs`) with
+enforcement (see ``docs/static-analysis.md``):
+
+* :mod:`repro.check.sanitizers` — runtime autodiff sanitizers:
+  :func:`guard_mutations` certifies that no tensor saved for backward was
+  mutated in place between forward and backward (version counters), and
+  :func:`detect_anomaly` raises on the first NaN/Inf naming the originating
+  forward op.  Both follow the PR 1 method-swap pattern: zero overhead when
+  not active.
+* :mod:`repro.check.analyzer` — static model analysis: runs every registered
+  model against dataset presets on a minimal probe batch and reports shape
+  contract breaks, float64 drift inside the op graph, and dead parameters
+  (registered but unreachable by gradients).
+* :mod:`repro.check.linter` — AST linter with repo-specific rules
+  (R001–R005): global RNG use, missing ``super().__init__``, unregistered
+  parameters, raw ``.data`` writes, wall-clock access outside the shared
+  timer.
+
+Entry points: ``repro check`` / ``repro lint`` on the command line,
+``make lint`` / ``make ci`` in the build, and the functions re-exported
+here in code.
+"""
+
+from .analyzer import (
+    ANALYZER_SCHEMA,
+    ModelCheck,
+    analyze_model,
+    analyze_models,
+    format_model_report,
+    model_report_dict,
+)
+from .linter import (
+    DEFAULT_LINT_PATHS,
+    Finding,
+    LINT_RULES,
+    format_findings,
+    lint_file,
+    lint_paths,
+)
+from .sanitizers import (
+    AnomalyError,
+    InplaceMutationError,
+    SanitizerError,
+    detect_anomaly,
+    guard_mutations,
+    set_event_sink,
+)
+
+__all__ = [
+    "ANALYZER_SCHEMA",
+    "AnomalyError",
+    "DEFAULT_LINT_PATHS",
+    "Finding",
+    "InplaceMutationError",
+    "LINT_RULES",
+    "ModelCheck",
+    "SanitizerError",
+    "analyze_model",
+    "analyze_models",
+    "detect_anomaly",
+    "format_findings",
+    "format_model_report",
+    "guard_mutations",
+    "lint_file",
+    "lint_paths",
+    "model_report_dict",
+    "set_event_sink",
+]

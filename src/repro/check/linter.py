@@ -1,0 +1,341 @@
+"""AST linter with repo-specific rules the generic tools cannot express.
+
+Five rules (R001–R005), each encoding an invariant this codebase relies on
+for reproducibility or correctness — see ``docs/static-analysis.md`` for the
+full rationale table:
+
+========  ==============================================================
+R001      no global numpy RNG (``np.random.*`` module state, or an
+          unseeded ``np.random.default_rng()``) — randomness must flow
+          from :mod:`repro.utils.seed` so runs are reproducible
+R002      every ``nn.Module`` subclass that defines ``__init__`` must
+          call ``super().__init__()`` — otherwise the registration dicts
+          do not exist and parameters silently vanish
+R003      learnable arrays in a Module ``__init__`` must be wrapped in
+          :class:`~repro.nn.Parameter` — a bare ``init.*`` result or a
+          ``Tensor(..., requires_grad=True)`` is invisible to
+          ``parameters()``, the optimizer and ``state_dict()``
+R004      no writes to ``.data`` outside the optimizer package and the
+          engine itself — use :meth:`~repro.tensor.Tensor.copy_`, which
+          bumps the version counter the mutation sanitizer checks
+R005      no direct wall-clock reads (``time.time()`` etc.) outside
+          :mod:`repro.utils.timer` — profiles and telemetry must share
+          one clock
+========  ==============================================================
+
+Suppression: append ``# lint: disable`` (all rules) or
+``# lint: disable=R004`` (one rule) to the offending line.
+
+The linter parses files with :mod:`ast` — it never imports them — so it is
+safe on any tree, and runs over :data:`DEFAULT_LINT_PATHS` in well under a
+second.  Entry points: :func:`lint_paths`, ``repro lint``, ``make lint``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "DEFAULT_LINT_PATHS",
+    "Finding",
+    "LINT_RULES",
+    "format_findings",
+    "lint_file",
+    "lint_paths",
+]
+
+DEFAULT_LINT_PATHS = ("src", "examples", "benchmarks")
+
+LINT_RULES = {
+    "R001": "use the seeded RNG from repro.utils.seed, not global numpy random state",
+    "R002": "nn.Module subclass __init__ must call super().__init__()",
+    "R003": "learnable arrays must be registered as nn.Parameter",
+    "R004": "no .data writes outside optim/ and the engine; use Tensor.copy_",
+    "R005": "use repro.utils.timer.now(), not direct wall-clock reads",
+}
+
+# Paths (posix, repo-relative prefixes) where a rule legitimately does not
+# apply: the optimizer and the engine own .data (R004); the shared timer is
+# the one place allowed to read the wall clock (R005).
+_DATA_WRITE_ALLOWED = ("src/repro/optim/", "src/repro/tensor/tensor.py")
+_WALL_CLOCK_ALLOWED = ("src/repro/utils/timer.py",)
+
+# np.random attributes that touch the module-global RandomState.
+_GLOBAL_RNG_ATTRS = frozenset({
+    "seed", "rand", "randn", "randint", "random", "random_sample", "sample",
+    "choice", "shuffle", "permutation", "uniform", "normal", "standard_normal",
+    "binomial", "poisson", "beta", "gamma", "exponential", "get_state",
+    "set_state", "RandomState",
+})
+
+_WALL_CLOCK_FNS = frozenset({"time", "perf_counter", "monotonic", "process_time"})
+
+_SUPPRESS_RE = re.compile(r"#\s*lint:\s*disable(?:=(?P<rules>[\w,\s]+))?")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        """``path:line: RULE message`` — the one-line report form."""
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+def _suppressed_rules(source_lines: list[str]) -> dict[int, set[str] | None]:
+    """Map line number -> suppressed rule set (``None`` = all rules)."""
+    suppressed: dict[int, set[str] | None] = {}
+    for lineno, text in enumerate(source_lines, start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match:
+            rules = match.group("rules")
+            suppressed[lineno] = (
+                {r.strip() for r in rules.split(",")} if rules else None
+            )
+    return suppressed
+
+
+def _is_np_random(node: ast.expr) -> bool:
+    """True for ``np.random`` / ``numpy.random`` attribute chains."""
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr == "random"
+        and isinstance(node.value, ast.Name)
+        and node.value.id in ("np", "numpy")
+    )
+
+
+def _is_module_base(base: ast.expr) -> bool:
+    """True when a class base names the nn ``Module`` class."""
+    if isinstance(base, ast.Name):
+        return base.id == "Module"
+    return isinstance(base, ast.Attribute) and base.attr == "Module"
+
+
+def _calls_super_init(init_fn: ast.FunctionDef) -> bool:
+    for node in ast.walk(init_fn):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "__init__"
+            and isinstance(node.func.value, ast.Call)
+            and isinstance(node.func.value.func, ast.Name)
+            and node.func.value.func.id == "super"
+        ):
+            return True
+    return False
+
+
+def _is_learnable_value(node: ast.expr) -> bool:
+    """True when an expression builds a learnable array outside Parameter.
+
+    Matches calls to the initializers (``init.xavier_uniform(...)`` etc.)
+    and explicit ``Tensor(..., requires_grad=True)``; conditional
+    expressions are checked on both branches.
+    """
+    if isinstance(node, ast.IfExp):
+        return _is_learnable_value(node.body) or _is_learnable_value(node.orelse)
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name) \
+            and func.value.id == "init":
+        return True
+    if isinstance(func, ast.Name) and func.id == "Tensor":
+        return any(
+            kw.arg == "requires_grad"
+            and isinstance(kw.value, ast.Constant)
+            and kw.value.value is True
+            for kw in node.keywords
+        )
+    return False
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.findings: list[Finding] = []
+        self._data_write_allowed = any(path.startswith(p) for p in _DATA_WRITE_ALLOWED)
+        self._wall_clock_allowed = any(path.startswith(p) for p in _WALL_CLOCK_ALLOWED)
+
+    def _report(self, node: ast.AST, rule: str, message: str) -> None:
+        self.findings.append(Finding(self.path, node.lineno, rule, message))
+
+    # -- R001 ----------------------------------------------------------
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if _is_np_random(node.value) and node.attr in _GLOBAL_RNG_ATTRS:
+            self._report(
+                node, "R001",
+                f"np.random.{node.attr} uses global RNG state; "
+                "use repro.utils.seed.get_rng()/spawn_rng()",
+            )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        # R001: unseeded default_rng() — reproducible only by accident.
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "default_rng"
+            and _is_np_random(node.func.value)
+            and not node.args
+            and not node.keywords
+        ):
+            self._report(
+                node, "R001",
+                "unseeded np.random.default_rng(); "
+                "use repro.utils.seed.get_rng()/spawn_rng()",
+            )
+        # R005: direct wall-clock reads.
+        if (
+            not self._wall_clock_allowed
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _WALL_CLOCK_FNS
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "time"
+        ):
+            self._report(
+                node, "R005",
+                f"time.{node.func.attr}() bypasses the shared clock; "
+                "use repro.utils.timer.now()",
+            )
+        self.generic_visit(node)
+
+    # -- R002 / R003 ---------------------------------------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if any(_is_module_base(base) for base in node.bases):
+            init_fn = next(
+                (
+                    item for item in node.body
+                    if isinstance(item, ast.FunctionDef) and item.name == "__init__"
+                ),
+                None,
+            )
+            if init_fn is not None:
+                if not _calls_super_init(init_fn):
+                    self._report(
+                        init_fn, "R002",
+                        f"{node.name}.__init__ never calls super().__init__(); "
+                        "parameter/submodule registration will not work",
+                    )
+                self._check_parameter_registration(node.name, init_fn)
+        self.generic_visit(node)
+
+    def _check_parameter_registration(self, class_name: str, init_fn: ast.FunctionDef) -> None:
+        for stmt in ast.walk(init_fn):
+            if not isinstance(stmt, ast.Assign):
+                continue
+            if not any(
+                isinstance(t, ast.Attribute)
+                and isinstance(t.value, ast.Name)
+                and t.value.id == "self"
+                for t in stmt.targets
+            ):
+                continue
+            if _is_learnable_value(stmt.value):
+                self._report(
+                    stmt, "R003",
+                    f"learnable array assigned raw in {class_name}.__init__; "
+                    "wrap it in nn.Parameter so it is registered",
+                )
+
+    # -- R004 ----------------------------------------------------------
+    def _is_data_write_target(self, target: ast.expr) -> bool:
+        # `self.data = ...` is a container storing an attribute that happens
+        # to be called "data" (e.g. Trainer.data), not a tensor mutation —
+        # every real violation writes through a tensor-valued name instead
+        # (`param.data`, `target.data`, ...).
+        if (
+            isinstance(target, ast.Attribute)
+            and target.attr == "data"
+            and not (isinstance(target.value, ast.Name) and target.value.id == "self")
+        ):
+            return True
+        # t.data[...] = x — the slice write the version counter cannot see.
+        return (
+            isinstance(target, ast.Subscript)
+            and isinstance(target.value, ast.Attribute)
+            and target.value.attr == "data"
+            and not (
+                isinstance(target.value.value, ast.Name)
+                and target.value.value.id == "self"
+            )
+        )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if not self._data_write_allowed:
+            for target in node.targets:
+                if self._is_data_write_target(target):
+                    self._report(
+                        node, "R004",
+                        ".data write bypasses the version counter; use Tensor.copy_",
+                    )
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if not self._data_write_allowed and self._is_data_write_target(node.target):
+            self._report(
+                node, "R004",
+                "in-place .data update bypasses the version counter; use Tensor.copy_",
+            )
+        self.generic_visit(node)
+
+
+def lint_file(path: str | Path, *, relative_to: str | Path | None = None) -> list[Finding]:
+    """Lint one python file; returns surviving (non-suppressed) findings.
+
+    ``relative_to`` controls the repo-relative path used for reports and the
+    R004/R005 allowlists (defaults to the path as given).
+    """
+    path = Path(path)
+    rel = path.relative_to(relative_to).as_posix() if relative_to else path.as_posix()
+    source = path.read_text()
+    tree = ast.parse(source, filename=str(path))
+    visitor = _Visitor(rel)
+    visitor.visit(tree)
+    suppressed = _suppressed_rules(source.splitlines())
+    kept = []
+    for finding in visitor.findings:
+        rules = suppressed.get(finding.line, ())
+        if rules is None or (rules and finding.rule in rules):
+            continue
+        kept.append(finding)
+    return kept
+
+
+def lint_paths(
+    paths: tuple[str, ...] | list[str] = DEFAULT_LINT_PATHS,
+    *,
+    root: str | Path = ".",
+) -> list[Finding]:
+    """Lint every ``*.py`` file under ``paths`` (relative to ``root``).
+
+    Missing paths are skipped, so the default set works from any checkout.
+    Findings come back sorted by (path, line, rule).
+    """
+    root = Path(root)
+    findings: list[Finding] = []
+    for entry in paths:
+        base = root / entry
+        if base.is_file():
+            findings.extend(lint_file(base, relative_to=root))
+        elif base.is_dir():
+            for file in sorted(base.rglob("*.py")):
+                findings.extend(lint_file(file, relative_to=root))
+    return sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+
+
+def format_findings(findings: list[Finding]) -> str:
+    """Human-readable report: one line per finding plus a summary line."""
+    if not findings:
+        return "lint: clean"
+    lines = [finding.format() for finding in findings]
+    lines.append(f"lint: {len(findings)} finding(s)")
+    return "\n".join(lines)

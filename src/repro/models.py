@@ -1,0 +1,81 @@
+"""The model registry: every forecaster of the paper's Table 3, by name.
+
+One canonical place that maps model names to constructors, shared by the
+CLI (``repro train`` / ``repro profile``), the static model analyzer
+(``repro check``) and any harness that needs "all registered models".
+Names follow the paper's Table 3 spelling; lookup is case-insensitive.
+"""
+
+from __future__ import annotations
+
+from .baselines import (
+    ASTGCN,
+    DCRNN,
+    DGCRN,
+    FCLSTM,
+    GMAN,
+    MTGNN,
+    STGCN,
+    STSGCN,
+    SVR,
+    VAR,
+    GraphWaveNet,
+    HistoricalAverage,
+)
+from .core import D2STGNN, D2STGNNConfig
+
+__all__ = ["MODEL_NAMES", "STATISTICAL", "NEURAL", "canonical_model", "build_model"]
+
+MODEL_NAMES = (
+    "HA", "VAR", "SVR", "FC-LSTM", "DCRNN", "STGCN", "GraphWaveNet",
+    "ASTGCN", "STSGCN", "GMAN", "MTGNN", "DGCRN", "D2STGNN",
+)
+STATISTICAL = ("HA", "VAR", "SVR")
+NEURAL = tuple(name for name in MODEL_NAMES if name not in STATISTICAL)
+
+
+def canonical_model(name: str) -> str:
+    """Resolve a case-insensitive model name to its Table 3 spelling.
+
+    Raises ``KeyError`` for unknown names.
+    """
+    lookup = {candidate.lower(): candidate for candidate in MODEL_NAMES}
+    try:
+        return lookup[name.lower()]
+    except KeyError:
+        raise KeyError(f"unknown model {name!r}; choose from {MODEL_NAMES}") from None
+
+
+def build_model(name: str, data, hidden: int = 16, layers: int = 2):
+    """Construct the named model against a ``ForecastingData`` bundle.
+
+    Returns ``(model, config)`` where ``config`` is what the checkpoint
+    format stores (a :class:`~repro.core.D2STGNNConfig` for D2STGNN, a plain
+    dict for the baselines).  Raises ``KeyError`` for unknown names.
+    """
+    name = canonical_model(name)
+    dataset = data.dataset
+    adjacency = data.adjacency
+    config_extra = {"hidden_dim": hidden, "num_layers": layers}
+    if name == "D2STGNN":
+        config = D2STGNNConfig(
+            num_nodes=dataset.num_nodes, steps_per_day=dataset.steps_per_day,
+            hidden_dim=hidden, embed_dim=max(4, hidden // 2),
+            num_layers=layers, num_heads=2,
+        )
+        return D2STGNN(config, adjacency), config
+    builders = {
+        "HA": lambda: HistoricalAverage(dataset.steps_per_day),
+        "VAR": lambda: VAR(lags=3),
+        "SVR": lambda: SVR(epochs=30),
+        "FC-LSTM": lambda: FCLSTM(hidden_dim=hidden),
+        "DCRNN": lambda: DCRNN(adjacency, hidden_dim=hidden),
+        "STGCN": lambda: STGCN(adjacency, hidden_dim=hidden),
+        "GraphWaveNet": lambda: GraphWaveNet(adjacency, hidden_dim=hidden),
+        "ASTGCN": lambda: ASTGCN(adjacency, hidden_dim=hidden),
+        "STSGCN": lambda: STSGCN(adjacency, hidden_dim=hidden),
+        "GMAN": lambda: GMAN(dataset.num_nodes, dataset.steps_per_day, hidden_dim=hidden, num_heads=2),
+        "MTGNN": lambda: MTGNN(dataset.num_nodes, hidden_dim=hidden),
+        "DGCRN": lambda: DGCRN(adjacency, hidden_dim=hidden),
+    }
+    return builders[name](), config_extra

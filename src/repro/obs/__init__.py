@@ -23,6 +23,7 @@ from .telemetry import (
     TELEMETRY_SCHEMA,
     epoch_record,
     memory_high_water_mark_bytes,
+    sanitizer_record,
     train_end_record,
 )
 
@@ -39,5 +40,6 @@ __all__ = [
     "epoch_record",
     "memory_high_water_mark_bytes",
     "read_jsonl",
+    "sanitizer_record",
     "train_end_record",
 ]

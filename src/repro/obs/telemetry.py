@@ -6,7 +6,7 @@ module owns the record layout so the schema lives in exactly one place; it
 is documented for consumers in ``docs/observability.md``.
 
 Every record carries ``schema`` (:data:`TELEMETRY_SCHEMA`) and ``event``
-(``"epoch"`` or ``"train_end"``) keys.
+(``"epoch"``, ``"train_end"`` or ``"sanitizer"``) keys.
 """
 
 from __future__ import annotations
@@ -17,6 +17,7 @@ import sys
 __all__ = [
     "TELEMETRY_SCHEMA",
     "epoch_record",
+    "sanitizer_record",
     "train_end_record",
     "memory_high_water_mark_bytes",
 ]
@@ -69,6 +70,25 @@ def epoch_record(
         "active_horizon": active_horizon,
         "teacher_forcing_ratio": teacher_forcing_ratio,
         "memory_peak_bytes": memory_high_water_mark_bytes(),
+    }
+
+
+def sanitizer_record(*, kind: str, op: str, phase: str, message: str) -> dict:
+    """Build the record a runtime sanitizer emits when it trips.
+
+    ``kind`` is ``"anomaly"`` (NaN/Inf detected) or ``"inplace_mutation"``
+    (version-counter trip); ``op`` names the originating forward op and
+    ``phase`` is ``"forward"`` or ``"backward"``.  Emitted by
+    :mod:`repro.check.sanitizers` immediately before the matching exception
+    is raised, so a training run's JSON-lines stream records *why* it died.
+    """
+    return {
+        "schema": TELEMETRY_SCHEMA,
+        "event": "sanitizer",
+        "kind": kind,
+        "op": op,
+        "phase": phase,
+        "message": message,
     }
 
 

@@ -1,0 +1,114 @@
+"""The repo linter: golden fixture, suppression, allowlists, clean HEAD."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.check import (
+    DEFAULT_LINT_PATHS,
+    Finding,
+    LINT_RULES,
+    format_findings,
+    lint_file,
+    lint_paths,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURE = Path(__file__).resolve().parent / "fixtures" / "lint_violations.py"
+
+# The golden contract: linting the fixture yields exactly these (line, rule)
+# pairs — every deliberate violation caught, both suppressions honoured,
+# and none of the compliant lines flagged.
+EXPECTED = [
+    (19, "R001"),  # np.random.seed
+    (20, "R001"),  # np.random.rand
+    (21, "R001"),  # unseeded default_rng()
+    (28, "R002"),  # Module subclass without super().__init__()
+    (35, "R003"),  # raw init.* assignment
+    (36, "R003"),  # raw Tensor(requires_grad=True) assignment
+    (41, "R004"),  # .data rebinding
+    (42, "R004"),  # .data augmented assignment
+    (43, "R004"),  # .data slice write
+    (50, "R005"),  # time.time()
+    (51, "R005"),  # time.perf_counter()
+]
+
+
+class TestGoldenFixture:
+    def test_exact_findings(self):
+        findings = lint_file(FIXTURE)
+        assert [(f.line, f.rule) for f in findings] == EXPECTED
+
+    def test_every_rule_fires_at_least_once(self):
+        rules = {f.rule for f in lint_file(FIXTURE)}
+        assert rules == set(LINT_RULES)
+
+    def test_suppressed_lines_do_not_appear(self):
+        lines = {f.line for f in lint_file(FIXTURE)}
+        source = FIXTURE.read_text().splitlines()
+        for lineno, text in enumerate(source, start=1):
+            if "lint: disable" in text:
+                assert lineno not in lines
+
+    def test_format_is_path_line_rule(self):
+        first = lint_file(FIXTURE)[0]
+        formatted = first.format()
+        assert formatted.startswith(f"{first.path}:19: R001")
+
+
+class TestAllowlists:
+    def _write(self, root: Path, rel: str, body: str) -> Path:
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(body)
+        return path
+
+    def test_optim_may_write_data(self, tmp_path):
+        body = "def step(param, update):\n    param.data -= update\n"
+        inside = self._write(tmp_path, "src/repro/optim/sgd.py", body)
+        outside = self._write(tmp_path, "src/repro/nn/bad.py", body)
+        assert lint_file(inside, relative_to=tmp_path) == []
+        assert [f.rule for f in lint_file(outside, relative_to=tmp_path)] == ["R004"]
+
+    def test_timer_may_read_wall_clock(self, tmp_path):
+        body = "import time\n\ndef now():\n    return time.perf_counter()\n"
+        inside = self._write(tmp_path, "src/repro/utils/timer.py", body)
+        outside = self._write(tmp_path, "src/repro/utils/other.py", body)
+        assert lint_file(inside, relative_to=tmp_path) == []
+        assert [f.rule for f in lint_file(outside, relative_to=tmp_path)] == ["R005"]
+
+    def test_self_data_attribute_is_not_a_tensor_write(self, tmp_path):
+        body = "class Holder:\n    def __init__(self, data):\n        self.data = data\n"
+        path = self._write(tmp_path, "src/repro/thing.py", body)
+        assert lint_file(path, relative_to=tmp_path) == []
+
+
+class TestLintPaths:
+    def test_repo_head_is_clean(self):
+        findings = lint_paths(root=REPO_ROOT)
+        assert findings == [], format_findings(findings)
+
+    def test_default_paths_cover_the_source_tree(self):
+        assert DEFAULT_LINT_PATHS == ("src", "examples", "benchmarks")
+
+    def test_missing_paths_are_skipped(self, tmp_path):
+        assert lint_paths(("nothing_here",), root=tmp_path) == []
+
+    def test_findings_sorted_and_hashable(self):
+        findings = lint_file(FIXTURE)
+        assert findings == sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+        assert len(set(findings)) == len(findings)  # frozen dataclass
+
+
+class TestRuleTable:
+    def test_rules_are_documented(self):
+        assert set(LINT_RULES) == {"R001", "R002", "R003", "R004", "R005"}
+        for rule, description in LINT_RULES.items():
+            assert description, rule
+
+    def test_format_findings_clean(self):
+        assert format_findings([]) == "lint: clean"
+
+    def test_format_findings_summary_line(self):
+        findings = [Finding("a.py", 1, "R001", "msg")]
+        assert format_findings(findings).endswith("lint: 1 finding(s)")

@@ -1,0 +1,147 @@
+"""Static model analysis: every registered model passes clean, and the
+analyzer provably catches the defect classes it claims to."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.check import (
+    ANALYZER_SCHEMA,
+    analyze_model,
+    analyze_models,
+    format_model_report,
+    model_report_dict,
+)
+from repro.models import NEURAL, STATISTICAL
+
+
+def probe_batch(rng, batch=2, steps=12, nodes=5):
+    x = rng.normal(size=(batch, steps, nodes, 1)).astype(np.float32)
+    tod = rng.integers(0, 288, size=(batch, steps))
+    dow = rng.integers(0, 7, size=(batch, steps))
+    return x, tod, dow
+
+
+class TestModelZooIsClean:
+    def test_every_neural_model_passes_on_one_preset(self):
+        checks = analyze_models(datasets=["metr-la-sim"])
+        assert [c.model for c in checks] == list(NEURAL)
+        failed = {c.model: c.findings() for c in checks if not c.ok}
+        assert failed == {}, format_model_report(checks)
+
+    def test_report_schema(self):
+        checks = analyze_models(models=["FC-LSTM"], datasets=["pems08-sim"])
+        report = model_report_dict(checks)
+        assert report["schema"] == ANALYZER_SCHEMA
+        assert report["findings_total"] == 0
+        [row] = report["checks"]
+        assert row["ok"] is True
+        assert row["num_parameters"] > 0
+        assert row["output_shape"] == row["expected_shape"]
+
+    def test_statistical_models_rejected(self):
+        for name in STATISTICAL:
+            with pytest.raises(ValueError, match="statistical"):
+                analyze_models(models=[name], datasets=["metr-la-sim"])
+
+    def test_case_insensitive_model_selection(self):
+        checks = analyze_models(models=["stgcn"], datasets=["metr-la-sim"])
+        assert checks[0].model == "STGCN"
+
+
+class _DeadParamModel(nn.Module):
+    """Registers one parameter the forward never touches."""
+
+    def __init__(self):
+        super().__init__()
+        self.used = nn.Linear(1, 1)
+        self.unused = nn.Parameter(nn.init.zeros(3))
+
+    def forward(self, x, tod, dow):
+        from repro.tensor import Tensor
+
+        if not isinstance(x, Tensor):
+            x = Tensor(x)
+        return self.used(x)
+
+
+class _WrongShapeModel(nn.Module):
+    def __init__(self):
+        super().__init__()
+        self.head = nn.Linear(1, 1)
+
+    def forward(self, x, tod, dow):
+        from repro.tensor import Tensor
+
+        if not isinstance(x, Tensor):
+            x = Tensor(x)
+        return self.head(x).sum(axis=1, keepdims=True)  # horizon collapsed
+
+
+class _Float64Model(nn.Module):
+    def __init__(self):
+        super().__init__()
+        self.head = nn.Linear(1, 1)
+
+    def forward(self, x, tod, dow):
+        from repro.tensor import Tensor
+
+        if not isinstance(x, Tensor):
+            x = Tensor(x)
+        # Simulate a drift bug: the constructor normally downcasts, so force
+        # float64 payload directly — the op result then computes in float64.
+        constant = Tensor(np.ones(1))
+        constant.data = np.full(1, 2.0, dtype=np.float64)
+        return self.head(x * constant)
+
+
+class TestAnalyzerCatchesDefects:
+    def test_dead_parameter_is_reported_by_name(self, rng):
+        x, tod, dow = probe_batch(rng)
+        check = analyze_model(
+            _DeadParamModel(), name="dead", dataset="unit",
+            x=x, tod=tod, dow=dow, horizon=x.shape[1],
+        )
+        assert not check.ok
+        assert check.dead_parameters == ["unused"]
+        assert any("dead parameter 'unused'" in f for f in check.findings())
+
+    def test_shape_contract_break_is_reported(self, rng):
+        x, tod, dow = probe_batch(rng)
+        check = analyze_model(
+            _WrongShapeModel(), name="shape", dataset="unit",
+            x=x, tod=tod, dow=dow, horizon=x.shape[1],
+        )
+        assert check.output_shape != check.expected_shape
+        assert any("contract" in f for f in check.findings())
+
+    def test_float64_drift_names_op_and_scope(self, rng):
+        x, tod, dow = probe_batch(rng)
+        check = analyze_model(
+            _Float64Model(), name="drift", dataset="unit",
+            x=x, tod=tod, dow=dow, horizon=x.shape[1],
+        )
+        assert check.float64_ops, check.to_dict()
+        assert any("op 'mul'" in entry for entry in check.float64_ops)
+
+    def test_clean_model_restores_engine_hooks(self, rng):
+        from repro.nn.module import Module
+        from repro.tensor.tensor import Tensor
+
+        x, tod, dow = probe_batch(rng)
+        analyze_model(
+            _DeadParamModel(), name="dead", dataset="unit",
+            x=x, tod=tod, dow=dow, horizon=x.shape[1],
+        )
+        assert isinstance(Tensor.__dict__["_make"], staticmethod)
+        assert "__call__" in vars(Module)
+
+    def test_human_report_mentions_findings(self, rng):
+        x, tod, dow = probe_batch(rng)
+        check = analyze_model(
+            _DeadParamModel(), name="dead", dataset="unit",
+            x=x, tod=tod, dow=dow, horizon=x.shape[1],
+        )
+        table = format_model_report([check])
+        assert "1 finding(s)" in table
+        assert "unused" in table
