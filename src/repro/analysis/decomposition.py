@@ -75,7 +75,9 @@ class ResidualFlow:
     """Mean |signal| after each decomposition stage, per layer.
 
     Rows: layers; columns: (input, gated, after diffusion backcast,
-    after inherent backcast).
+    after inherent backcast).  A block built without a backcast branch
+    (the last layer's second block — see ``D2STGNN``) passes its signal
+    through unchanged, matching what the model computes.
     """
 
     magnitudes: np.ndarray
@@ -110,10 +112,16 @@ def residual_flow(model: D2STGNN, data: ForecastingData, batch_size: int = 32) -
             else:
                 gated = current
             _, _, backcast_dif = layer.diffusion(gated, supports)
-            after_dif = current - backcast_dif if model.config.use_residual else current
+            after_dif = (
+                current - backcast_dif
+                if model.config.use_residual and backcast_dif is not None
+                else current
+            )
             _, _, backcast_inh = layer.inherent(after_dif)
             after_inh = (
-                after_dif - backcast_inh if model.config.use_residual else after_dif
+                after_dif - backcast_inh
+                if model.config.use_residual and backcast_inh is not None
+                else after_dif
             )
             rows.append(
                 [

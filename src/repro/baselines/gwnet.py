@@ -49,8 +49,11 @@ class GraphWaveNet(nn.Module):
         self.temporal = nn.ModuleList(
             [GatedTemporalConv(hidden_dim, hidden_dim, d) for d in dilations]
         )
+        # The graph convolution feeds the next layer's residual stream; the
+        # final layer has no successor (the prediction reads the skip sum),
+        # so it carries none.
         self.spatial = nn.ModuleList(
-            [GraphConv(hidden_dim, hidden_dim, num_supports, order=2) for _ in dilations]
+            [GraphConv(hidden_dim, hidden_dim, num_supports, order=2) for _ in dilations[:-1]]
         )
         self.skip_projections = nn.ModuleList(
             [nn.Linear(hidden_dim, hidden_dim) for _ in dilations]
@@ -70,14 +73,15 @@ class GraphWaveNet(nn.Module):
         hidden = self.input_projection(x)  # (B, T, N, d)
         supports = self._supports()
         skip = None
-        for temporal, spatial, skip_proj in zip(
-            self.temporal, self.spatial, self.skip_projections
+        for index, (temporal, skip_proj) in enumerate(
+            zip(self.temporal, self.skip_projections)
         ):
             residual = hidden
             hidden = temporal(hidden)
             contribution = skip_proj(hidden)
             skip = contribution if skip is None else skip + contribution
-            hidden = spatial(hidden, supports) + residual
+            if index < len(self.spatial):
+                hidden = self.spatial[index](hidden, supports) + residual
         features = skip.relu()
         last = features[:, features.shape[1] - 1]  # (B, N, d)
         return self.head(last)

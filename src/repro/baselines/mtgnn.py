@@ -96,11 +96,14 @@ class MTGNN(nn.Module):
         self.temporal = nn.ModuleList(
             [_DilatedInception(hidden_dim) for _ in range(num_layers)]
         )
+        # Mix-hop propagation feeds the next layer's residual stream; the
+        # final layer has no successor (the prediction reads the skip sum),
+        # so it carries none.
         self.spatial_fwd = nn.ModuleList(
-            [MixHopPropagation(hidden_dim, mixhop_depth) for _ in range(num_layers)]
+            [MixHopPropagation(hidden_dim, mixhop_depth) for _ in range(num_layers - 1)]
         )
         self.spatial_bwd = nn.ModuleList(
-            [MixHopPropagation(hidden_dim, mixhop_depth) for _ in range(num_layers)]
+            [MixHopPropagation(hidden_dim, mixhop_depth) for _ in range(num_layers - 1)]
         )
         self.skip_projections = nn.ModuleList(
             [nn.Linear(hidden_dim, hidden_dim) for _ in range(num_layers)]
@@ -113,13 +116,15 @@ class MTGNN(nn.Module):
         adjacency = self.graph_learner()
         hidden = self.input_projection(x)
         skip = None
-        for temporal, fwd, bwd, skip_proj in zip(
-            self.temporal, self.spatial_fwd, self.spatial_bwd, self.skip_projections
+        for index, (temporal, skip_proj) in enumerate(
+            zip(self.temporal, self.skip_projections)
         ):
             residual = hidden
             hidden = temporal(hidden)
             contribution = skip_proj(hidden)
             skip = contribution if skip is None else skip + contribution
-            hidden = fwd(hidden, adjacency) + bwd(hidden, adjacency.transpose()) + residual
+            if index < len(self.spatial_fwd):
+                fwd, bwd = self.spatial_fwd[index], self.spatial_bwd[index]
+                hidden = fwd(hidden, adjacency) + bwd(hidden, adjacency.transpose()) + residual
         features = skip.relu()
         return self.head(features[:, features.shape[1] - 1])

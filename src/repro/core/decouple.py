@@ -89,9 +89,15 @@ class DecoupledLayer(nn.Module):
             first_input = x
 
         _, first_forecast, first_backcast = first(first_input)
-        second_input = x - first_backcast if self.use_residual else x
+        second_input = (
+            x - first_backcast if self.use_residual and first_backcast is not None else x
+        )
         _, second_forecast, second_backcast = second(second_input)
-        residual = second_input - second_backcast if self.use_residual else second_input
+        residual = (
+            second_input - second_backcast
+            if self.use_residual and second_backcast is not None
+            else second_input
+        )
 
         if self.diffusion_first:
             return residual, first_forecast, second_forecast

@@ -71,6 +71,13 @@ class DiffusionBlock(nn.Module):
         Number of future hidden states the forecast branch emits.
     autoregressive:
         Forecast-branch strategy (see module docstring).
+    use_backcast:
+        Whether to build the backcast branch.  The backcast only exists to
+        feed the residual links (Eq. 1-2); a block whose backcast nobody
+        consumes (coupled stacking, *w/o res*, or the second block of the
+        final layer) should not carry — or spend compute on — its
+        parameters.  When off, :meth:`forward` returns ``None`` in the
+        backcast slot.
     """
 
     def __init__(
@@ -81,6 +88,7 @@ class DiffusionBlock(nn.Module):
         k_t: int = 3,
         horizon: int = 12,
         autoregressive: bool = True,
+        use_backcast: bool = True,
     ) -> None:
         super().__init__()
         if min(hidden_dim, num_supports, k_s, k_t, horizon) < 1:
@@ -110,7 +118,7 @@ class DiffusionBlock(nn.Module):
         else:
             self.direct_head = nn.Linear(hidden_dim, horizon * hidden_dim)
         # Backcast branch.
-        self.backcast = nn.MLP([hidden_dim, hidden_dim, hidden_dim])
+        self.backcast = nn.MLP([hidden_dim, hidden_dim, hidden_dim]) if use_backcast else None
 
     # ------------------------------------------------------------------
     def _temporal_mix(self, x: Tensor) -> Tensor:
@@ -156,13 +164,14 @@ class DiffusionBlock(nn.Module):
         -------
         (hidden, forecast, backcast):
             hidden (B, T, N, d); forecast (B, horizon, N, d);
-            backcast (B, T, N, d), the block's estimate of its own input.
+            backcast (B, T, N, d), the block's estimate of its own input
+            (``None`` when built with ``use_backcast=False``).
         """
         if len(supports) != self.num_supports:
             raise ValueError(f"expected {self.num_supports} supports, got {len(supports)}")
         hidden = self._graph_mix(self._temporal_mix(x), supports)
         forecast = self._forecast(hidden)
-        backcast = self.backcast(hidden)
+        backcast = self.backcast(hidden) if self.backcast is not None else None
         return hidden, forecast, backcast
 
     def _forecast(self, hidden: Tensor) -> Tensor:

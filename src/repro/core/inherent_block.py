@@ -25,7 +25,10 @@ class InherentBlock(nn.Module):
     """The blue block of Fig. 3.
 
     ``use_gru`` / ``use_msa`` switch off the two sub-modules for the paper's
-    *w/o gru* and *w/o msa* ablations (Table 5).
+    *w/o gru* and *w/o msa* ablations (Table 5).  ``use_backcast=False``
+    omits the backcast branch entirely (and returns ``None`` in its slot)
+    for positions where no residual link consumes it — the second block of
+    the final decoupled layer, coupled stacking, or the *w/o res* ablation.
     """
 
     def __init__(
@@ -37,6 +40,7 @@ class InherentBlock(nn.Module):
         use_msa: bool = True,
         autoregressive: bool = True,
         max_length: int = 64,
+        use_backcast: bool = True,
     ) -> None:
         super().__init__()
         if not (use_gru or use_msa):
@@ -56,13 +60,14 @@ class InherentBlock(nn.Module):
             self.feedback = nn.Linear(hidden_dim, hidden_dim)
         else:
             self.direct_head = nn.Linear(hidden_dim, horizon * hidden_dim)
-        self.backcast = nn.MLP([hidden_dim, hidden_dim, hidden_dim])
+        self.backcast = nn.MLP([hidden_dim, hidden_dim, hidden_dim]) if use_backcast else None
 
     def forward(self, x: Tensor) -> tuple[Tensor, Tensor, Tensor]:
         """Process inherent input (B, T, N, d).
 
         Returns ``(hidden, forecast, backcast)`` with shapes
-        (B, T, N, d), (B, horizon, N, d) and (B, T, N, d).
+        (B, T, N, d), (B, horizon, N, d) and (B, T, N, d); the backcast is
+        ``None`` when the block was built with ``use_backcast=False``.
         """
         batch, steps, num_nodes, dim = x.shape
         folded = x.transpose(0, 2, 1, 3).reshape(batch * num_nodes, steps, dim)
@@ -77,14 +82,14 @@ class InherentBlock(nn.Module):
             hidden_seq = self.attention(self.positional(gru_seq)) + gru_seq
 
         forecast = self._forecast(hidden_seq, gru_state)
-        backcast_seq = self.backcast(hidden_seq)
 
         def unfold(seq: Tensor, length: int) -> Tensor:
             return seq.reshape(batch, num_nodes, length, dim).transpose(0, 2, 1, 3)
 
-        return unfold(hidden_seq, steps), unfold(forecast, self.horizon), unfold(
-            backcast_seq, steps
+        backcast = (
+            unfold(self.backcast(hidden_seq), steps) if self.backcast is not None else None
         )
+        return unfold(hidden_seq, steps), unfold(forecast, self.horizon), backcast
 
     def _forecast(self, hidden_seq: Tensor, gru_state: Tensor) -> Tensor:
         if not self.autoregressive:

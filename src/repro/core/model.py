@@ -119,7 +119,19 @@ class D2STGNN(nn.Module):
 
         num_supports = 2 + (1 if config.use_adaptive else 0)
         layers = []
-        for _ in range(config.num_layers):
+        for index in range(config.num_layers):
+            # Backcasts exist solely to feed the residual links (Eq. 1-2),
+            # so a block only builds one when some link will consume it:
+            # never under coupled stacking or *w/o res*, and the layer's
+            # second block skips it on the final layer, whose residual
+            # X^{L+1} has no successor.
+            needs_residual = config.use_decouple and config.use_residual
+            first_backcast = needs_residual
+            second_backcast = needs_residual and index < config.num_layers - 1
+            if config.diffusion_first:
+                diffusion_backcast, inherent_backcast = first_backcast, second_backcast
+            else:
+                diffusion_backcast, inherent_backcast = second_backcast, first_backcast
             diffusion = DiffusionBlock(
                 config.hidden_dim,
                 num_supports=num_supports,
@@ -127,6 +139,7 @@ class D2STGNN(nn.Module):
                 k_t=config.k_t,
                 horizon=config.horizon,
                 autoregressive=config.autoregressive,
+                use_backcast=diffusion_backcast,
             )
             inherent = InherentBlock(
                 config.hidden_dim,
@@ -136,6 +149,7 @@ class D2STGNN(nn.Module):
                 use_msa=config.use_msa,
                 autoregressive=config.autoregressive,
                 max_length=max(config.history, config.horizon) + 4,
+                use_backcast=inherent_backcast,
             )
             if config.use_decouple:
                 layers.append(

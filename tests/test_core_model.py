@@ -89,16 +89,21 @@ class TestForward:
         b = model(x, tod, dow).numpy()
         assert not np.array_equal(a, b)
 
-    def test_all_parameters_receive_gradients_except_terminal_backcast(self, adjacency, rng):
+    def test_all_parameters_receive_gradients(self, adjacency, rng):
         model = make_model(adjacency)
         x, tod, dow = batch(rng)
         out = model(x, tod, dow)
         F.mae_loss(out, Tensor(np.zeros_like(out.numpy()))).backward()
         missing = [name for name, p in model.named_parameters() if p.grad is None]
-        # Only the final layer's inherent backcast feeds the discarded
-        # residual; everything else must train.
-        last = f"layers.{model.config.num_layers - 1}.inherent.backcast"
-        assert all(name.startswith(last) for name in missing), missing
+        # Every registered parameter must train: the final layer's second
+        # block no longer builds the backcast nobody consumes.
+        assert missing == [], missing
+
+    def test_final_layer_second_block_has_no_backcast(self, adjacency):
+        model = make_model(adjacency)
+        last = model.layers[len(model.layers) - 1]
+        assert last.inherent.backcast is None
+        assert last.diffusion.backcast is not None
 
 
 VARIANTS = {
