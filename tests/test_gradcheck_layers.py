@@ -1,0 +1,196 @@
+"""Finite-difference gradient verification for every public repro.nn layer.
+
+Each case runs :func:`repro.tensor.gradcheck` over the layer's input *and*
+all of its parameters at tiny sizes — parameters are perturbed in place via
+``Tensor.copy_``, so the module's own parameter objects feed the numerical
+gradient.  A coverage meta-test forces future layers to register a case.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.module import Module
+from repro.tensor import Tensor
+from repro.tensor.gradcheck import gradcheck
+from repro.utils.seed import set_seed
+
+
+def t(rng, *shape, offset=0.0):
+    data = rng.normal(size=shape).astype(np.float32)
+    # Keep values away from piecewise kinks (relu at 0) so the central
+    # difference does not straddle a non-differentiable point.
+    data = np.where(np.abs(data) < 0.15, data + 0.3, data) + offset
+    return Tensor(data.astype(np.float32), requires_grad=True)
+
+
+# name -> builder(rng) returning (fn, inputs) for gradcheck.  Layers with
+# tuple outputs are reduced to a single Tensor so gradcheck can sum them.
+CASES = {}
+
+
+def case(name):
+    def register(builder):
+        CASES[name] = builder
+        return builder
+
+    return register
+
+
+@case("Linear")
+def _linear(rng):
+    layer = nn.Linear(3, 4)
+    x = t(rng, 2, 3)
+    return (lambda *ts: layer(ts[0])), [x] + layer.parameters()
+
+
+@case("MLP")
+def _mlp(rng):
+    layer = nn.MLP([3, 4, 2])
+    x = t(rng, 2, 3)
+    return (lambda *ts: layer(ts[0])), [x] + layer.parameters()
+
+
+@case("LayerNorm")
+def _layernorm(rng):
+    layer = nn.LayerNorm(4)
+    x = t(rng, 3, 4)
+    return (lambda *ts: layer(ts[0])), [x] + layer.parameters()
+
+
+@case("Embedding")
+def _embedding(rng):
+    layer = nn.Embedding(5, 3)
+    indices = rng.integers(0, 5, size=(4,))
+    return (lambda *ts: layer(indices)), layer.parameters()
+
+
+@case("Dropout")
+def _dropout(rng):
+    layer = nn.Dropout(0.5)
+    layer.eval()  # deterministic identity; training mode is stochastic
+    x = t(rng, 2, 3)
+    return (lambda *ts: layer(ts[0])), [x]
+
+
+@case("PositionalEncoding")
+def _positional(rng):
+    layer = nn.PositionalEncoding(4, max_length=8)
+    x = t(rng, 2, 3, 4)
+    return (lambda *ts: layer(ts[0])), [x]
+
+
+@case("MultiHeadSelfAttention")
+def _attention(rng):
+    layer = nn.MultiHeadSelfAttention(4, num_heads=2)
+    x = t(rng, 1, 3, 4)
+    return (lambda *ts: layer(ts[0])), [x] + layer.parameters()
+
+
+@case("CausalConv")
+def _causal_conv(rng):
+    layer = nn.CausalConv(2, 3, dilation=1)
+    x = t(rng, 1, 4, 2, 2)  # (B, T, N, C)
+    return (lambda *ts: layer(ts[0])), [x] + layer.parameters()
+
+
+@case("GatedTemporalConv")
+def _gated_conv(rng):
+    layer = nn.GatedTemporalConv(2, 2, dilation=1)
+    x = t(rng, 1, 4, 2, 2)
+    return (lambda *ts: layer(ts[0])), [x] + layer.parameters()
+
+
+@case("GRUCell")
+def _gru_cell(rng):
+    layer = nn.GRUCell(3, 4)
+    x = t(rng, 2, 3)
+    h = t(rng, 2, 4)
+    return (lambda *ts: layer(ts[0], ts[1])), [x, h] + layer.parameters()
+
+
+@case("GRU")
+def _gru(rng):
+    layer = nn.GRU(3, 4)
+    x = t(rng, 2, 3, 3)  # (B, T, C)
+    return (lambda *ts: layer(ts[0])[0]), [x] + layer.parameters()
+
+
+@case("LSTMCell")
+def _lstm_cell(rng):
+    layer = nn.LSTMCell(3, 4)
+    x = t(rng, 2, 3)
+    h = t(rng, 2, 4)
+    c = t(rng, 2, 4)
+
+    def fn(*ts):
+        new_h, new_c = layer(ts[0], (ts[1], ts[2]))
+        return new_h + new_c
+
+    return fn, [x, h, c] + layer.parameters()
+
+
+@case("LSTM")
+def _lstm(rng):
+    layer = nn.LSTM(3, 4)
+    x = t(rng, 2, 3, 3)
+    return (lambda *ts: layer(ts[0])[0]), [x] + layer.parameters()
+
+
+@case("Sequential")
+def _sequential(rng):
+    layer = nn.Sequential(nn.Linear(3, 4), nn.Tanh(), nn.Linear(4, 2))
+    x = t(rng, 2, 3)
+    return (lambda *ts: layer(ts[0])), [x] + layer.parameters()
+
+
+@case("ReLU")
+def _relu(rng):
+    x = t(rng, 3, 3)  # t() keeps values off the kink at 0
+    layer = nn.ReLU()
+    return (lambda *ts: layer(ts[0])), [x]
+
+
+@case("LeakyReLU")
+def _leaky_relu(rng):
+    x = t(rng, 3, 3)
+    layer = nn.LeakyReLU(0.1)
+    return (lambda *ts: layer(ts[0])), [x]
+
+
+@case("Sigmoid")
+def _sigmoid(rng):
+    layer = nn.Sigmoid()
+    x = t(rng, 3, 3)
+    return (lambda *ts: layer(ts[0])), [x]
+
+
+@case("Tanh")
+def _tanh(rng):
+    layer = nn.Tanh()
+    x = t(rng, 3, 3)
+    return (lambda *ts: layer(ts[0])), [x]
+
+
+# Public Module subclasses with no computation of their own.
+EXEMPT = {"Module", "ModuleList", "Parameter"}
+
+
+class TestLayerGradients:
+    @pytest.mark.parametrize("name", sorted(CASES))
+    def test_gradcheck(self, name):
+        set_seed(7)
+        rng = np.random.default_rng(7)
+        fn, inputs = CASES[name](rng)
+        assert gradcheck(fn, inputs)
+
+    def test_every_public_layer_has_a_case(self):
+        """New nn layers must register a gradcheck case (or an exemption)."""
+        public_modules = {
+            name
+            for name in nn.__all__
+            if isinstance(getattr(nn, name), type)
+            and issubclass(getattr(nn, name), Module)
+        }
+        uncovered = public_modules - set(CASES) - EXEMPT
+        assert uncovered == set(), f"layers without a gradcheck case: {sorted(uncovered)}"
