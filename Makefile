@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test bench bench-full experiments examples clean docs-check profile
+.PHONY: install test bench bench-full experiments examples clean docs-check profile lint check ci
 
 install:
 	pip install -e .
@@ -10,6 +10,14 @@ test:
 
 docs-check:
 	pytest tests/test_docs_examples.py tests/test_api_quality.py -q
+
+lint:
+	python -m repro lint
+
+check:
+	python -m repro check
+
+ci: lint docs-check test
 
 profile:
 	python -m repro profile --dataset metr-la-sim --model d2stgnn --out BENCH_profile.json

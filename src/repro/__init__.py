@@ -20,14 +20,15 @@ Quickstart::
     print(trainer.evaluate())
 """
 
-from . import analysis, baselines, core, data, experiments, graph, nn, obs, optim, tensor, training, utils
+from . import analysis, baselines, check, core, data, experiments, graph, nn, obs, optim, tensor, training, utils
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
     "analysis",
     "baselines",
+    "check",
     "core",
     "data",
     "experiments",

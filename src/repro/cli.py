@@ -6,6 +6,8 @@
                           --checkpoint model.npz
     python -m repro evaluate --checkpoint model.npz --dataset metr-la-sim
     python -m repro profile --dataset metr-la-sim --model d2stgnn
+    python -m repro lint                      # repo-specific AST lint (R001-R005)
+    python -m repro check --dataset metr-la-sim   # model zoo static analysis
 
 Everything the CLI does is a thin layer over the public API; see
 examples/ for the same flows in code.
@@ -18,41 +20,21 @@ import json
 import sys
 from pathlib import Path
 
-from .baselines import (
-    ASTGCN,
-    DCRNN,
-    DGCRN,
-    FCLSTM,
-    GMAN,
-    MTGNN,
-    STGCN,
-    STSGCN,
-    SVR,
-    VAR,
-    GraphWaveNet,
-    HistoricalAverage,
-)
-from .core import D2STGNN, D2STGNNConfig
+from .check.linter import DEFAULT_LINT_PATHS
 from .data import PRESETS, build_forecasting_data, load_dataset
 from .data.io import load_dataset_file, save_dataset
+from .models import MODEL_NAMES, STATISTICAL, build_model, canonical_model
 from .training import Trainer, TrainerConfig, format_horizon_report
 from .utils.checkpoint import load_checkpoint, save_checkpoint
 from .utils.seed import set_seed
 
-MODEL_NAMES = (
-    "HA", "VAR", "SVR", "FC-LSTM", "DCRNN", "STGCN", "GraphWaveNet",
-    "ASTGCN", "STSGCN", "GMAN", "MTGNN", "DGCRN", "D2STGNN",
-)
-STATISTICAL = ("HA", "VAR", "SVR")
-
 
 def _canonical_model(name: str) -> str:
-    """Resolve a case-insensitive model name to its Table 3 spelling."""
-    lookup = {candidate.lower(): candidate for candidate in MODEL_NAMES}
+    """Resolve a case-insensitive model name, exiting on unknown names."""
     try:
-        return lookup[name.lower()]
-    except KeyError:
-        raise SystemExit(f"unknown model {name!r}; choose from {MODEL_NAMES}") from None
+        return canonical_model(name)
+    except KeyError as error:
+        raise SystemExit(error.args[0]) from None
 
 
 def _get_data(args):
@@ -68,33 +50,10 @@ def _get_data(args):
 
 
 def _build_model(name: str, data, hidden: int, layers: int):
-    dataset = data.dataset
-    adjacency = data.adjacency
-    config_extra = {"hidden_dim": hidden, "num_layers": layers}
-    if name == "D2STGNN":
-        config = D2STGNNConfig(
-            num_nodes=dataset.num_nodes, steps_per_day=dataset.steps_per_day,
-            hidden_dim=hidden, embed_dim=max(4, hidden // 2),
-            num_layers=layers, num_heads=2,
-        )
-        return D2STGNN(config, adjacency), config
-    builders = {
-        "HA": lambda: HistoricalAverage(dataset.steps_per_day),
-        "VAR": lambda: VAR(lags=3),
-        "SVR": lambda: SVR(epochs=30),
-        "FC-LSTM": lambda: FCLSTM(hidden_dim=hidden),
-        "DCRNN": lambda: DCRNN(adjacency, hidden_dim=hidden),
-        "STGCN": lambda: STGCN(adjacency, hidden_dim=hidden),
-        "GraphWaveNet": lambda: GraphWaveNet(adjacency, hidden_dim=hidden),
-        "ASTGCN": lambda: ASTGCN(adjacency, hidden_dim=hidden),
-        "STSGCN": lambda: STSGCN(adjacency, hidden_dim=hidden),
-        "GMAN": lambda: GMAN(dataset.num_nodes, dataset.steps_per_day, hidden_dim=hidden, num_heads=2),
-        "MTGNN": lambda: MTGNN(dataset.num_nodes, hidden_dim=hidden),
-        "DGCRN": lambda: DGCRN(adjacency, hidden_dim=hidden),
-    }
-    if name not in builders:
-        raise SystemExit(f"unknown model {name!r}; choose from {MODEL_NAMES}")
-    return builders[name](), config_extra
+    try:
+        return build_model(name, data, hidden=hidden, layers=layers)
+    except KeyError as error:
+        raise SystemExit(error.args[0]) from None
 
 
 def cmd_experiments(args) -> int:
@@ -149,7 +108,10 @@ def cmd_train(args) -> int:
         sink = FileSink(args.telemetry) if args.telemetry else None
         trainer = Trainer(
             model, data,
-            TrainerConfig(epochs=args.epochs, batch_size=args.batch_size, verbose=True, seed=args.seed),
+            TrainerConfig(
+                epochs=args.epochs, batch_size=args.batch_size, verbose=True,
+                seed=args.seed, detect_anomaly=args.detect_anomaly,
+            ),
             sink=sink,
         )
         trainer.train()
@@ -239,6 +201,50 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    """``repro lint``: run the repo-specific AST linter.
+
+    Lints every python file under the given paths with the R001-R005 rules
+    (see ``docs/static-analysis.md``); exits 1 when any finding survives
+    suppression comments, so CI can gate on it.
+    """
+    from .check import format_findings, lint_paths
+
+    findings = lint_paths(tuple(args.paths), root=args.root)
+    if args.json:
+        print(json.dumps(
+            {"findings": [vars(f) for f in findings], "total": len(findings)}, indent=2
+        ))
+    else:
+        print(format_findings(findings))
+    return 1 if findings else 0
+
+
+def cmd_check(args) -> int:
+    """``repro check``: static model analysis over the registered model zoo.
+
+    Runs every neural model (or ``--model``) against dataset presets on a
+    probe batch and reports shape-contract breaks, dead parameters and
+    float64 drift; exits 1 on findings.  ``--json`` writes the
+    machine-readable report (schema ``repro.check.models/v1``).
+    """
+    from .check import analyze_models, format_model_report, model_report_dict
+
+    try:
+        checks = analyze_models(
+            models=[args.model] if args.model else None,
+            datasets=[args.dataset] if args.dataset else None,
+        )
+    except (KeyError, ValueError) as error:
+        raise SystemExit(error.args[0]) from None
+    report = model_report_dict(checks)
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(format_model_report(checks))
+    return 1 if report["findings_total"] else 0
+
+
 def cmd_evaluate(args) -> int:
     """``repro evaluate``: evaluate a saved checkpoint on a dataset split."""
     data = _get_data(args)
@@ -287,6 +293,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--checkpoint", default=None, help="where to save the trained model")
     p.add_argument("--telemetry", default=None,
                    help="write per-epoch JSON-lines telemetry to this file")
+    p.add_argument("--detect-anomaly", action="store_true",
+                   help="raise on the first NaN/Inf, naming the originating op")
     p.set_defaults(fn=cmd_train)
 
     p = sub.add_parser("evaluate", help="evaluate a saved checkpoint")
@@ -314,6 +322,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default="BENCH_profile.json",
                    help="where to write the machine-readable profile")
     p.set_defaults(fn=cmd_profile)
+
+    p = sub.add_parser("lint", help="run the repo-specific AST linter (rules R001-R005)")
+    p.add_argument("paths", nargs="*", default=list(DEFAULT_LINT_PATHS),
+                   help="files or directories to lint (default: src examples benchmarks)")
+    p.add_argument("--root", default=".", help="repository root the paths are relative to")
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.set_defaults(fn=cmd_lint)
+
+    p = sub.add_parser("check", help="static model analysis: shapes, dtypes, dead parameters")
+    p.add_argument("--model", default=None,
+                   help="analyze one model (case-insensitive; default: all neural models)")
+    p.add_argument("--dataset", default=None, choices=sorted(PRESETS),
+                   help="analyze against one preset (default: all presets)")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable output (schema repro.check.models/v1)")
+    p.set_defaults(fn=cmd_check)
 
     return parser
 

@@ -17,10 +17,17 @@ sink=...)`` to receive one structured record per epoch (throughput in
 windows/sec, gradient norms, memory high-water mark, scheduled-sampling
 state) plus an end-of-run summary; the JSON-lines schema lives in
 :mod:`repro.obs.telemetry` and is documented in ``docs/observability.md``.
+
+Debugging: ``TrainerConfig(detect_anomaly=True)`` runs every training step
+under :func:`repro.check.detect_anomaly`, so the first NaN/Inf raises
+naming the originating op (and, when a sink is attached, lands in the
+telemetry stream as a ``sanitizer`` record) instead of surfacing as a NaN
+loss many batches later.
 """
 
 from __future__ import annotations
 
+import contextlib
 import inspect
 from dataclasses import dataclass, field
 
@@ -57,6 +64,7 @@ class TrainerConfig:
     lr_decay_gamma: float = 0.5
     scheduled_sampling: bool = False  # DCRNN-style teacher forcing decay
     sampling_decay_batches: int = 200  # batches until teacher forcing reaches 0
+    detect_anomaly: bool = False  # run each step under repro.check.detect_anomaly
     seed: int = 0
     verbose: bool = False
 
@@ -143,6 +151,15 @@ class Trainer:
     def train(self) -> TrainingHistory:
         """Run the full loop; restores the best-validation parameters."""
         cfg = self.config
+        if cfg.detect_anomaly:
+            # Lazy import: the sanitizer pulls in repro.check, which most
+            # training runs never need.
+            from ..check.sanitizers import detect_anomaly
+
+            def step_guard():
+                return detect_anomaly(sink=self.sink)
+        else:
+            step_guard = contextlib.nullcontext
         rng = np.random.default_rng(cfg.seed)
         horizon = self.data.windows.horizon
         curriculum = CurriculumSchedule(
@@ -161,8 +178,9 @@ class Trainer:
             loader = self.data.loader("train", batch_size=cfg.batch_size, shuffle=True, rng=rng)
             for batch in loader:
                 self.optimizer.zero_grad()
-                loss = self._loss(batch, curriculum.active_horizon)
-                loss.backward()
+                with step_guard():
+                    loss = self._loss(batch, curriculum.active_horizon)
+                    loss.backward()
                 grad_norms.append(clip_grad_norm(self.model.parameters(), cfg.clip_norm))
                 self.optimizer.step()
                 losses.append(loss.item())

@@ -117,3 +117,53 @@ class TestExperiments:
         assert get_experiment("table3").paper_artifact == "Table 3"
         with _pytest.raises(KeyError):
             get_experiment("table99")
+
+class TestLint:
+    def test_repo_head_is_clean(self, capsys):
+        assert main(["lint"]) == 0
+        assert "lint: clean" in capsys.readouterr().out
+
+    def test_findings_yield_nonzero_exit(self, capsys):
+        fixture = "tests/fixtures/lint_violations.py"
+        assert main(["lint", fixture]) == 1
+        out = capsys.readouterr().out
+        assert "R001" in out
+        assert "finding(s)" in out
+
+    def test_json_output(self, capsys):
+        import json
+
+        fixture = "tests/fixtures/lint_violations.py"
+        assert main(["lint", fixture, "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["total"] == len(payload["findings"]) > 0
+        assert {"path", "line", "rule", "message"} <= set(payload["findings"][0])
+
+
+class TestCheck:
+    def test_single_model_single_preset_is_clean(self, capsys):
+        code = main(["check", "--model", "FC-LSTM", "--dataset", "metr-la-sim"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "FC-LSTM" in out
+        assert "0 finding(s)" in out
+
+    def test_json_output(self, capsys):
+        import json
+
+        code = main(["check", "--model", "fc-lstm", "--dataset", "metr-la-sim",
+                     "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro.check.models/v1"
+        assert payload["findings_total"] == 0
+        [row] = payload["checks"]
+        assert row["model"] == "FC-LSTM"  # case-insensitive resolution
+
+    def test_statistical_model_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["check", "--model", "HA"])
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["check", "--model", "NotAModel"])

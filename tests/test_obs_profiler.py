@@ -197,3 +197,59 @@ class TestTrainerTelemetry:
 
     def test_memory_high_water_mark_positive(self):
         assert memory_high_water_mark_bytes() > 1024 * 1024
+
+class TestSanitizerTelemetry:
+    """Sanitizer trips flow through the same MetricsSink as epoch records."""
+
+    def test_sanitizer_record_shares_the_telemetry_schema(self):
+        from repro.obs import sanitizer_record
+
+        record = sanitizer_record(
+            kind="anomaly", op="div", phase="forward", message="boom"
+        )
+        assert record["schema"] == TELEMETRY_SCHEMA
+        assert record["event"] == "sanitizer"
+        json.dumps(record)
+
+    def test_trainer_detect_anomaly_clean_run_emits_no_sanitizer_records(self, tiny_data):
+        sink = MemorySink()
+        trainer = Trainer(FCLSTM(hidden_dim=4), tiny_data,
+                          TrainerConfig(epochs=1, detect_anomaly=True), sink=sink)
+        trainer.train()
+        events = {record["event"] for record in sink.records}
+        assert "sanitizer" not in events
+        assert {"epoch", "train_end"} <= events
+        # the engine must be back to its uninstrumented state
+        assert tensor_mod._BACKWARD_OP_HOOK is None
+
+    def test_trainer_detect_anomaly_reports_poisoned_forward(self, tiny_data):
+        from repro.check import AnomalyError
+
+        class PoisonedModel(Module):
+            def __init__(self):
+                super().__init__()
+                self.lin = Linear(1, 1)
+
+            def forward(self, x, tod, dow):
+                if not isinstance(x, Tensor):
+                    x = Tensor(x)
+                with np.errstate(divide="ignore"):
+                    return self.lin(x) / Tensor(np.zeros(1, dtype=np.float32))
+
+        sink = MemorySink()
+        trainer = Trainer(PoisonedModel(), tiny_data,
+                          TrainerConfig(epochs=1, detect_anomaly=True), sink=sink)
+        with pytest.raises(AnomalyError, match="op 'div'"):
+            trainer.train()
+        sanitizer = [r for r in sink.records if r["event"] == "sanitizer"]
+        assert len(sanitizer) == 1
+        assert sanitizer[0]["kind"] == "anomaly"
+        assert sanitizer[0]["op"] == "div"
+        assert sanitizer[0]["phase"] == "forward"
+        assert tensor_mod._BACKWARD_OP_HOOK is None
+
+    def test_trainer_without_flag_does_not_wrap_steps(self, tiny_data):
+        trainer = Trainer(FCLSTM(hidden_dim=4), tiny_data, TrainerConfig(epochs=1))
+        assert trainer.config.detect_anomaly is False
+        trainer.train()  # no sanitizer active: nothing to restore
+        assert tensor_mod._BACKWARD_OP_HOOK is None
