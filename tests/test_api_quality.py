@@ -25,6 +25,7 @@ PACKAGES = [
     "repro.training",
     "repro.utils",
     "repro.obs",
+    "repro.check",
 ]
 
 
