@@ -1,12 +1,15 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test bench bench-full experiments examples clean docs-check profile lint check ci
+.PHONY: install test test-faults bench bench-full experiments examples clean docs-check profile lint check ci
 
 install:
 	pip install -e .
 
 test:
 	pytest tests/
+
+test-faults:
+	pytest tests/test_faults_recovery.py -q
 
 docs-check:
 	pytest tests/test_docs_examples.py tests/test_api_quality.py -q
@@ -17,7 +20,7 @@ lint:
 check:
 	python -m repro check
 
-ci: lint docs-check test
+ci: lint docs-check test-faults test
 
 profile:
 	python -m repro profile --dataset metr-la-sim --model d2stgnn --out BENCH_profile.json

@@ -20,7 +20,7 @@ Quickstart::
     print(trainer.evaluate())
 """
 
-from . import analysis, baselines, check, core, data, experiments, graph, nn, obs, optim, tensor, training, utils
+from . import analysis, baselines, check, core, data, experiments, faults, graph, nn, obs, optim, tensor, training, utils
 
 __version__ = "1.2.0"
 
@@ -32,6 +32,7 @@ __all__ = [
     "core",
     "data",
     "experiments",
+    "faults",
     "graph",
     "nn",
     "obs",

@@ -14,9 +14,9 @@ enforcement (see ``docs/static-analysis.md``):
   contract breaks, float64 drift inside the op graph, and dead parameters
   (registered but unreachable by gradients).
 * :mod:`repro.check.linter` — AST linter with repo-specific rules
-  (R001–R005): global RNG use, missing ``super().__init__``, unregistered
+  (R001–R006): global RNG use, missing ``super().__init__``, unregistered
   parameters, raw ``.data`` writes, wall-clock access outside the shared
-  timer.
+  timer, non-atomic writes of persistent state.
 
 Entry points: ``repro check`` / ``repro lint`` on the command line,
 ``make lint`` / ``make ci`` in the build, and the functions re-exported

@@ -1,6 +1,6 @@
 """AST linter with repo-specific rules the generic tools cannot express.
 
-Five rules (R001–R005), each encoding an invariant this codebase relies on
+Six rules (R001–R006), each encoding an invariant this codebase relies on
 for reproducibility or correctness — see ``docs/static-analysis.md`` for the
 full rationale table:
 
@@ -21,6 +21,10 @@ R004      no writes to ``.data`` outside the optimizer package and the
 R005      no direct wall-clock reads (``time.time()`` etc.) outside
           :mod:`repro.utils.timer` — profiles and telemetry must share
           one clock
+R006      persistent state must be written atomically — no raw
+          ``np.savez*`` outside :mod:`repro.utils.atomic`, and no
+          truncating ``open(..., "w")`` inside the state-persisting
+          modules; a crash mid-write must never corrupt a checkpoint
 ========  ==============================================================
 
 Suppression: append ``# lint: disable`` (all rules) or
@@ -55,6 +59,7 @@ LINT_RULES = {
     "R003": "learnable arrays must be registered as nn.Parameter",
     "R004": "no .data writes outside optim/ and the engine; use Tensor.copy_",
     "R005": "use repro.utils.timer.now(), not direct wall-clock reads",
+    "R006": "persist state via repro.utils.atomic, not raw np.savez/open-for-write",
 }
 
 # Paths (posix, repo-relative prefixes) where a rule legitimately does not
@@ -62,6 +67,17 @@ LINT_RULES = {
 # the one place allowed to read the wall clock (R005).
 _DATA_WRITE_ALLOWED = ("src/repro/optim/", "src/repro/tensor/tensor.py")
 _WALL_CLOCK_ALLOWED = ("src/repro/utils/timer.py",)
+
+# R006: atomic persistence.  np.savez* may only appear inside the atomic
+# write helper; the modules that persist state (checkpoints, datasets,
+# telemetry) must additionally not truncate files with open(..., "w") —
+# append-mode logs and reads are fine.
+_ATOMIC_WRITE_ALLOWED = ("src/repro/utils/atomic.py",)
+_PERSIST_STATE_PATHS = (
+    "src/repro/utils/checkpoint.py",
+    "src/repro/data/io.py",
+    "src/repro/obs/sinks.py",
+)
 
 # np.random attributes that touch the module-global RandomState.
 _GLOBAL_RNG_ATTRS = frozenset({
@@ -165,6 +181,8 @@ class _Visitor(ast.NodeVisitor):
         self.findings: list[Finding] = []
         self._data_write_allowed = any(path.startswith(p) for p in _DATA_WRITE_ALLOWED)
         self._wall_clock_allowed = any(path.startswith(p) for p in _WALL_CLOCK_ALLOWED)
+        self._atomic_write_allowed = any(path.startswith(p) for p in _ATOMIC_WRITE_ALLOWED)
+        self._persists_state = any(path.startswith(p) for p in _PERSIST_STATE_PATHS)
 
     def _report(self, node: ast.AST, rule: str, message: str) -> None:
         self.findings.append(Finding(self.path, node.lineno, rule, message))
@@ -206,7 +224,47 @@ class _Visitor(ast.NodeVisitor):
                 f"time.{node.func.attr}() bypasses the shared clock; "
                 "use repro.utils.timer.now()",
             )
+        # R006: raw np.savez* anywhere outside the atomic-write helper.
+        if (
+            not self._atomic_write_allowed
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("savez", "savez_compressed")
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id in ("np", "numpy")
+        ):
+            self._report(
+                node, "R006",
+                f"np.{node.func.attr} is not crash-safe; "
+                "use repro.utils.atomic.atomic_savez",
+            )
+        # R006: truncating open() inside the state-persisting modules.
+        if (
+            self._persists_state
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "open"
+            and self._opens_for_write(node)
+        ):
+            self._report(
+                node, "R006",
+                "open-for-write truncates on crash; "
+                "use repro.utils.atomic.atomic_write",
+            )
         self.generic_visit(node)
+
+    @staticmethod
+    def _opens_for_write(node: ast.Call) -> bool:
+        """True when an ``open`` call passes a mode string containing ``w``."""
+        mode = None
+        if len(node.args) >= 2:
+            mode = node.args[1]
+        for kw in node.keywords:
+            if kw.arg == "mode":
+                mode = kw.value
+        return (
+            isinstance(mode, ast.Constant)
+            and isinstance(mode.value, str)
+            and "w" in mode.value
+        )
 
     # -- R002 / R003 ---------------------------------------------------
     def visit_ClassDef(self, node: ast.ClassDef) -> None:
@@ -292,7 +350,7 @@ def lint_file(path: str | Path, *, relative_to: str | Path | None = None) -> lis
     """Lint one python file; returns surviving (non-suppressed) findings.
 
     ``relative_to`` controls the repo-relative path used for reports and the
-    R004/R005 allowlists (defaults to the path as given).
+    R004/R005/R006 allowlists (defaults to the path as given).
     """
     path = Path(path)
     rel = path.relative_to(relative_to).as_posix() if relative_to else path.as_posix()

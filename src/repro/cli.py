@@ -3,10 +3,10 @@
     python -m repro list                      # available models and datasets
     python -m repro simulate --dataset metr-la-sim --out data.npz
     python -m repro train --dataset metr-la-sim --model D2STGNN --epochs 4 \
-                          --checkpoint model.npz
+                          --checkpoint model.npz --resume state.npz
     python -m repro evaluate --checkpoint model.npz --dataset metr-la-sim
     python -m repro profile --dataset metr-la-sim --model d2stgnn
-    python -m repro lint                      # repo-specific AST lint (R001-R005)
+    python -m repro lint                      # repo-specific AST lint (R001-R006)
     python -m repro check --dataset metr-la-sim   # model zoo static analysis
 
 Everything the CLI does is a thin layer over the public API; see
@@ -114,7 +114,16 @@ def cmd_train(args) -> int:
             ),
             sink=sink,
         )
-        trainer.train()
+        if args.resume:
+            resume_path = Path(args.resume)
+            if resume_path.exists():
+                print(f"resuming from {resume_path}")
+                trainer.fit(resume_from=resume_path, state_path=resume_path)
+            else:
+                print(f"no state at {resume_path} yet; starting fresh")
+                trainer.fit(state_path=resume_path)
+        else:
+            trainer.fit()
         if sink is not None:
             sink.close()
             print(f"telemetry -> {args.telemetry}")
@@ -204,7 +213,7 @@ def cmd_profile(args) -> int:
 def cmd_lint(args) -> int:
     """``repro lint``: run the repo-specific AST linter.
 
-    Lints every python file under the given paths with the R001-R005 rules
+    Lints every python file under the given paths with the R001-R006 rules
     (see ``docs/static-analysis.md``); exits 1 when any finding survives
     suppression comments, so CI can gate on it.
     """
@@ -291,6 +300,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--steps", type=int, default=None)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--checkpoint", default=None, help="where to save the trained model")
+    p.add_argument("--resume", default=None, metavar="STATE",
+                   help="training-state file: resume from it if present, and "
+                        "keep it updated after every epoch (crash-safe)")
     p.add_argument("--telemetry", default=None,
                    help="write per-epoch JSON-lines telemetry to this file")
     p.add_argument("--detect-anomaly", action="store_true",
@@ -323,7 +335,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="where to write the machine-readable profile")
     p.set_defaults(fn=cmd_profile)
 
-    p = sub.add_parser("lint", help="run the repo-specific AST linter (rules R001-R005)")
+    p = sub.add_parser("lint", help="run the repo-specific AST linter (rules R001-R006)")
     p.add_argument("paths", nargs="*", default=list(DEFAULT_LINT_PATHS),
                    help="files or directories to lint (default: src examples benchmarks)")
     p.add_argument("--root", default=".", help="repository root the paths are relative to")

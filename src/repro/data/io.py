@@ -18,6 +18,8 @@ from pathlib import Path
 import numpy as np
 
 from ..graph.road_network import RoadNetwork
+from ..utils.atomic import atomic_savez
+from ..utils.checkpoint import CheckpointError
 from .datasets import DatasetSpec, TrafficDataset
 from .simulator import SimulationConfig, TrafficSeries, time_indices
 from .splits import FLOW_SPLIT, SPEED_SPLIT
@@ -28,7 +30,11 @@ _FORMAT_VERSION = 1
 
 
 def save_dataset(path: str | Path, dataset: TrafficDataset) -> Path:
-    """Write a :class:`TrafficDataset` to one compressed ``.npz`` file."""
+    """Write a :class:`TrafficDataset` to one compressed ``.npz`` file.
+
+    The archive is written atomically (temp file + ``os.replace``), so an
+    interrupted save leaves any previous file at ``path`` intact.
+    """
     path = Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(".npz")
@@ -45,8 +51,7 @@ def save_dataset(path: str | Path, dataset: TrafficDataset) -> Path:
             "steps": dataset.spec.reference_steps,
         },
     }
-    path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez_compressed(
+    return atomic_savez(
         path,
         values=series.values,
         inherent=series.inherent,
@@ -59,32 +64,53 @@ def save_dataset(path: str | Path, dataset: TrafficDataset) -> Path:
         adjacency=dataset.adjacency,
         meta=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
     )
-    return path
 
 
 def load_dataset_file(path: str | Path) -> TrafficDataset:
-    """Read a dataset previously written by :func:`save_dataset`."""
+    """Read a dataset previously written by :func:`save_dataset`.
+
+    Malformed archives — truncated files, missing members, corrupted or
+    version-mismatched metadata — raise
+    :class:`~repro.utils.checkpoint.CheckpointError` rather than a raw
+    ``zipfile``/``KeyError`` traceback.
+    """
     path = Path(path)
     if not path.exists():
         raise FileNotFoundError(f"no dataset file at {path}")
-    with np.load(path) as archive:
-        meta = json.loads(bytes(archive["meta"].tobytes()).decode("utf-8"))
+    try:
+        archive_ctx = np.load(path)
+    except Exception as error:  # zipfile.BadZipFile, OSError, EOFError, ...
+        raise CheckpointError(f"{path} is not a readable dataset archive: {error}") from error
+    with archive_ctx as archive:
+        if "meta" not in archive.files:
+            raise CheckpointError(f"{path} is not a repro dataset archive (missing meta)")
+        try:
+            meta = json.loads(bytes(archive["meta"].tobytes()).decode("utf-8"))
+        except Exception as error:
+            raise CheckpointError(f"{path} holds corrupted dataset metadata: {error}") from error
         if meta.get("format_version") != _FORMAT_VERSION:
-            raise ValueError(f"unsupported dataset format {meta.get('format_version')!r}")
-        series = TrafficSeries(
-            values=archive["values"],
-            inherent=archive["inherent"],
-            diffusion=archive["diffusion"],
-            time_of_day=archive["time_of_day"],
-            day_of_week=archive["day_of_week"],
-            failure_mask=archive["failure_mask"],
-            kind=meta["kind"],
-            config=SimulationConfig(steps_per_day=meta["steps_per_day"]),
-        )
-        network = RoadNetwork(
-            positions=archive["positions"], distances=archive["distances"]
-        )
-        adjacency = archive["adjacency"]
+            raise CheckpointError(
+                f"unsupported dataset format {meta.get('format_version')!r}"
+            )
+        try:
+            series = TrafficSeries(
+                values=archive["values"],
+                inherent=archive["inherent"],
+                diffusion=archive["diffusion"],
+                time_of_day=archive["time_of_day"],
+                day_of_week=archive["day_of_week"],
+                failure_mask=archive["failure_mask"],
+                kind=meta["kind"],
+                config=SimulationConfig(steps_per_day=meta["steps_per_day"]),
+            )
+            network = RoadNetwork(
+                positions=archive["positions"], distances=archive["distances"]
+            )
+            adjacency = archive["adjacency"]
+        except CheckpointError:
+            raise
+        except Exception as error:
+            raise CheckpointError(f"{path} holds a truncated or incomplete dataset: {error}") from error
     num_steps, num_nodes = series.values.shape
     spec = DatasetSpec(
         name=meta["name"], kind=meta["kind"], num_nodes=num_nodes, num_steps=num_steps,

@@ -1,0 +1,46 @@
+"""Fault injection and graceful degradation.
+
+The production counterpart to the paper's sensor-failure observations
+(Fig. 8): controlled injection of the failures a long-running training or
+serving system actually meets — NaN/Inf activations and gradients,
+corrupted batches, process kills between epochs, sensors going dark at
+inference — plus the evaluation harness proving the stack recovers from
+each of them.  See ``docs/robustness.md`` for the cookbook.
+
+* :mod:`repro.faults.injectors` — composable fault injectors and the
+  :class:`FaultSchedule` consumed by ``Trainer(..., faults=...)``;
+* :mod:`repro.faults.outage` — sensor-outage scenarios, imputation and
+  outage-aware evaluation (:func:`evaluate_under_outage`).
+"""
+
+from .injectors import (
+    ActivationFault,
+    BatchFault,
+    CrashFault,
+    Fault,
+    FaultSchedule,
+    GradientFault,
+    SimulatedCrash,
+)
+from .outage import (
+    IMPUTE_STRATEGIES,
+    OutageScenario,
+    evaluate_under_outage,
+    impute_windows,
+    sample_outage_mask,
+)
+
+__all__ = [
+    "ActivationFault",
+    "BatchFault",
+    "CrashFault",
+    "Fault",
+    "FaultSchedule",
+    "GradientFault",
+    "IMPUTE_STRATEGIES",
+    "OutageScenario",
+    "SimulatedCrash",
+    "evaluate_under_outage",
+    "impute_windows",
+    "sample_outage_mask",
+]

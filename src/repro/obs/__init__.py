@@ -23,6 +23,8 @@ from .telemetry import (
     TELEMETRY_SCHEMA,
     epoch_record,
     memory_high_water_mark_bytes,
+    recovery_record,
+    resume_record,
     sanitizer_record,
     train_end_record,
 )
@@ -38,6 +40,8 @@ __all__ = [
     "TELEMETRY_SCHEMA",
     "annotate_model_scopes",
     "epoch_record",
+    "recovery_record",
+    "resume_record",
     "memory_high_water_mark_bytes",
     "read_jsonl",
     "sanitizer_record",

@@ -55,19 +55,42 @@ class StdoutSink(MetricsSink):
 class FileSink(MetricsSink):
     """Append each record as one JSON line to ``path``.
 
-    The file is opened lazily on the first record and closed by
-    :meth:`close` (or the context-manager exit).
+    By default every :meth:`emit` rewrites the file atomically (temp file in
+    the target directory + ``os.replace``, via
+    :func:`repro.utils.atomic.atomic_write`): a process killed mid-write can
+    never leave a torn half-record behind, and records already in the file
+    when the sink is created are preserved.  Pass ``atomic=False`` for plain
+    append-mode streaming when telemetry volume outweighs crash-safety (the
+    file is then opened lazily on the first record and closed by
+    :meth:`close` or the context-manager exit).
     """
 
-    def __init__(self, path) -> None:
+    def __init__(self, path, atomic: bool = True) -> None:
         self.path = Path(path)
+        self.atomic = atomic
         self._handle = None
+        self._lines: list[str] | None = None
+
+    def _emit_atomic(self, line: str) -> None:
+        from ..utils.atomic import atomic_write
+
+        if self._lines is None:
+            self._lines = []
+            if self.path.exists():
+                self._lines = self.path.read_text().splitlines(keepends=True)
+        self._lines.append(line)
+        with atomic_write(self.path) as handle:
+            handle.writelines(self._lines)
 
     def emit(self, record: dict) -> None:
         """Serialise ``record`` as one JSON line appended to the file."""
+        line = json.dumps(record, sort_keys=True) + "\n"
+        if self.atomic:
+            self._emit_atomic(line)
+            return
         if self._handle is None:
             self._handle = open(self.path, "a")
-        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.write(line)
         self._handle.flush()
 
     def close(self) -> None:
@@ -75,6 +98,7 @@ class FileSink(MetricsSink):
         if self._handle is not None:
             self._handle.close()
             self._handle = None
+        self._lines = None
 
 
 class MemorySink(MetricsSink):

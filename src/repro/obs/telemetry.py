@@ -6,7 +6,8 @@ module owns the record layout so the schema lives in exactly one place; it
 is documented for consumers in ``docs/observability.md``.
 
 Every record carries ``schema`` (:data:`TELEMETRY_SCHEMA`) and ``event``
-(``"epoch"``, ``"train_end"`` or ``"sanitizer"``) keys.
+(``"epoch"``, ``"train_end"``, ``"sanitizer"``, ``"recovery"`` or
+``"resume"``) keys.
 """
 
 from __future__ import annotations
@@ -17,6 +18,8 @@ import sys
 __all__ = [
     "TELEMETRY_SCHEMA",
     "epoch_record",
+    "recovery_record",
+    "resume_record",
     "sanitizer_record",
     "train_end_record",
     "memory_high_water_mark_bytes",
@@ -89,6 +92,52 @@ def sanitizer_record(*, kind: str, op: str, phase: str, message: str) -> dict:
         "op": op,
         "phase": phase,
         "message": message,
+    }
+
+
+def recovery_record(
+    *,
+    epoch: int,
+    step: int,
+    reason: str,
+    lr_before: float,
+    lr_after: float,
+    consecutive_failures: int,
+    total_recoveries: int,
+) -> dict:
+    """Build the record emitted when the trainer rolls back a bad batch.
+
+    Emitted by the NaN-rollback recovery path
+    (``TrainerConfig(recovery=...)``): the offending batch was skipped, the
+    last good model/optimizer snapshot restored, and the learning rate
+    possibly backed off (``lr_before`` → ``lr_after``).  ``step`` is the
+    global batch index (counted across epochs and resumes).
+    """
+    return {
+        "schema": TELEMETRY_SCHEMA,
+        "event": "recovery",
+        "epoch": epoch,
+        "step": step,
+        "reason": reason,
+        "lr_before": lr_before,
+        "lr_after": lr_after,
+        "consecutive_failures": consecutive_failures,
+        "total_recoveries": total_recoveries,
+    }
+
+
+def resume_record(*, epoch: int, global_step: int, path: str) -> dict:
+    """Build the record emitted when a run resumes from a training checkpoint.
+
+    ``epoch`` is the (1-based) epoch the resumed run will execute next;
+    ``path`` is the training-state file it was restored from.
+    """
+    return {
+        "schema": TELEMETRY_SCHEMA,
+        "event": "resume",
+        "epoch": epoch,
+        "global_step": global_step,
+        "path": path,
     }
 
 

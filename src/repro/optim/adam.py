@@ -32,6 +32,28 @@ class Adam(Optimizer):
         self._m = [np.zeros_like(p.data) for p in self.parameters]
         self._v = [np.zeros_like(p.data) for p in self.parameters]
 
+    def _extra_state(self) -> dict:
+        """Step count, hyper-parameters and deep copies of both moments."""
+        return {
+            "step": int(self._step),
+            "beta1": float(self.beta1),
+            "beta2": float(self.beta2),
+            "eps": float(self.eps),
+            "weight_decay": float(self.weight_decay),
+            "m": [m.copy() for m in self._m],
+            "v": [v.copy() for v in self._v],
+        }
+
+    def _load_extra_state(self, state: dict) -> None:
+        """Restore moments and step count; shapes must match the parameters."""
+        self._step = int(state["step"])
+        self.beta1 = float(state["beta1"])
+        self.beta2 = float(state["beta2"])
+        self.eps = float(state["eps"])
+        self.weight_decay = float(state["weight_decay"])
+        self._m = self._check_moment_arrays("m", state["m"])
+        self._v = self._check_moment_arrays("v", state["v"])
+
     def step(self) -> None:
         self._step += 1
         correction1 = 1.0 - self.beta1**self._step

@@ -25,9 +25,27 @@ class StepLR:
         self.epoch = 0
 
     def step(self) -> float:
+        """Advance one epoch and update the optimizer's learning rate."""
         self.epoch += 1
         self.optimizer.lr = self.base_lr * self.gamma ** (self.epoch // self.step_size)
         return self.optimizer.lr
+
+    def state_dict(self) -> dict:
+        """Serialisable snapshot (epoch counter + schedule constants)."""
+        return {
+            "epoch": int(self.epoch),
+            "base_lr": float(self.base_lr),
+            "step_size": int(self.step_size),
+            "gamma": float(self.gamma),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot and re-apply the schedule to the optimizer."""
+        self.epoch = int(state["epoch"])
+        self.base_lr = float(state["base_lr"])
+        self.step_size = int(state["step_size"])
+        self.gamma = float(state["gamma"])
+        self.optimizer.lr = self.base_lr * self.gamma ** (self.epoch // self.step_size)
 
 
 class CosineAnnealingLR:
@@ -43,9 +61,30 @@ class CosineAnnealingLR:
         self.epoch = 0
 
     def step(self) -> float:
+        """Advance one epoch and update the optimizer's learning rate."""
         self.epoch = min(self.epoch + 1, self.total_epochs)
         progress = self.epoch / self.total_epochs
         self.optimizer.lr = self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (
             1.0 + math.cos(math.pi * progress)
         )
         return self.optimizer.lr
+
+    def state_dict(self) -> dict:
+        """Serialisable snapshot (epoch counter + schedule constants)."""
+        return {
+            "epoch": int(self.epoch),
+            "base_lr": float(self.base_lr),
+            "total_epochs": int(self.total_epochs),
+            "min_lr": float(self.min_lr),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot and re-apply the schedule to the optimizer."""
+        self.epoch = int(state["epoch"])
+        self.base_lr = float(state["base_lr"])
+        self.total_epochs = int(state["total_epochs"])
+        self.min_lr = float(state["min_lr"])
+        progress = self.epoch / self.total_epochs
+        self.optimizer.lr = self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (
+            1.0 + math.cos(math.pi * progress)
+        )

@@ -5,6 +5,8 @@ from __future__ import annotations
 import math
 from typing import Iterable
 
+import numpy as np
+
 from ..nn.module import Parameter
 
 __all__ = ["Optimizer", "clip_grad_norm"]
@@ -28,6 +30,54 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # Serialization — crash-safe resume needs the moments, not just weights.
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Serialisable snapshot: learning rate plus subclass state.
+
+        Array-valued entries are deep copies, so a snapshot taken for
+        rollback is immune to subsequent :meth:`step` calls.
+        """
+        return {"lr": float(self.lr), **self._extra_state()}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`.
+
+        After loading, the next :meth:`step` behaves exactly as it would
+        have on the optimizer the snapshot was taken from.
+        """
+        if "lr" not in state:
+            raise ValueError("optimizer state dict is missing 'lr'")
+        self.lr = float(state["lr"])
+        self._load_extra_state(state)
+
+    def _extra_state(self) -> dict:
+        """Subclass hook: additional entries for :meth:`state_dict`."""
+        return {}
+
+    def _load_extra_state(self, state: dict) -> None:
+        """Subclass hook: restore the entries added by :meth:`_extra_state`."""
+
+    def _check_moment_arrays(self, name: str, arrays) -> list:
+        """Validate a per-parameter array list against the parameter shapes."""
+        arrays = list(arrays)
+        if len(arrays) != len(self.parameters):
+            raise ValueError(
+                f"optimizer state holds {len(arrays)} '{name}' arrays for "
+                f"{len(self.parameters)} parameters"
+            )
+        restored = []
+        for index, (param, value) in enumerate(zip(self.parameters, arrays)):
+            value = np.asarray(value)
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"'{name}' array {index} has shape {value.shape}, "
+                    f"parameter has {param.data.shape}"
+                )
+            restored.append(value.astype(param.data.dtype, copy=True))
+        return restored
+
 
 def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
     """Scale gradients in place so their global L2 norm is at most ``max_norm``.
@@ -37,6 +87,11 @@ def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
     """
     params = [p for p in parameters if p.grad is not None]
     total = math.sqrt(sum(float((p.grad**2).sum()) for p in params))
+    if not math.isfinite(total):
+        # Scaling by max_norm/inf would turn Inf gradients into NaN; leave
+        # them alone so the caller (e.g. the trainer's recovery path) sees
+        # the non-finite norm and can roll back.
+        return total
     if total > max_norm and total > 0:
         scale = max_norm / total
         for param in params:

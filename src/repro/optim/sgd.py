@@ -27,6 +27,20 @@ class SGD(Optimizer):
         self.weight_decay = weight_decay
         self._velocity = [np.zeros_like(p.data) for p in self.parameters]
 
+    def _extra_state(self) -> dict:
+        """Hyper-parameters and deep copies of the velocity buffers."""
+        return {
+            "momentum": float(self.momentum),
+            "weight_decay": float(self.weight_decay),
+            "velocity": [v.copy() for v in self._velocity],
+        }
+
+    def _load_extra_state(self, state: dict) -> None:
+        """Restore velocities; shapes must match the parameters."""
+        self.momentum = float(state["momentum"])
+        self.weight_decay = float(state["weight_decay"])
+        self._velocity = self._check_moment_arrays("velocity", state["velocity"])
+
     def step(self) -> None:
         for param, velocity in zip(self.parameters, self._velocity):
             if param.grad is None:

@@ -10,6 +10,7 @@ from .evaluation import (
     predict_split,
 )
 from .metrics import HORIZONS, compute_all, masked_mae, masked_mape, masked_rmse
+from .recovery import RecoveryExhausted, RecoveryPolicy
 from .significance import SignificanceResult, paired_t_test
 from .trainer import Trainer, TrainerConfig, TrainingHistory
 from .tuning import GridResult, grid_search
@@ -18,6 +19,8 @@ __all__ = [
     "CurriculumSchedule",
     "EarlyStopping",
     "HORIZONS",
+    "RecoveryExhausted",
+    "RecoveryPolicy",
     "SignificanceResult",
     "Trainer",
     "TrainerConfig",

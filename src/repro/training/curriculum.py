@@ -51,3 +51,11 @@ class CurriculumSchedule:
         """Advance by one batch; returns the horizon for the *next* batch."""
         self._batches += 1
         return self.active_horizon
+
+    def state_dict(self) -> dict:
+        """Serialisable snapshot (the batch counter driving the horizon)."""
+        return {"batches": int(self._batches)}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`."""
+        self._batches = int(state["batches"])

@@ -24,14 +24,44 @@ class EarlyStopping:
         self.bad_epochs = 0
 
     def update(self, loss: float, state: dict[str, np.ndarray]) -> bool:
-        """Record an epoch result; returns True when training should stop."""
+        """Record an epoch result; returns True when training should stop.
+
+        The snapshot is deep-copied: the caller usually passes a live
+        ``state_dict`` whose arrays subsequent training steps keep writing
+        to, and the "best" weights must not drift with them.
+        """
         if not np.isfinite(loss):
             self.bad_epochs += 1
             return self.bad_epochs >= self.patience
         if loss < self.best_loss - self.min_delta:
             self.best_loss = loss
-            self.best_state = state
+            self.best_state = {name: np.array(value, copy=True) for name, value in state.items()}
             self.bad_epochs = 0
             return False
         self.bad_epochs += 1
         return self.bad_epochs >= self.patience
+
+    def state_dict(self) -> dict:
+        """Serialisable snapshot: counters plus a copy of the best weights."""
+        return {
+            "best_loss": float(self.best_loss),
+            "bad_epochs": int(self.bad_epochs),
+            "patience": int(self.patience),
+            "min_delta": float(self.min_delta),
+            "best_state": (
+                None
+                if self.best_state is None
+                else {name: value.copy() for name, value in self.best_state.items()}
+            ),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`."""
+        self.best_loss = float(state["best_loss"])
+        self.bad_epochs = int(state["bad_epochs"])
+        self.patience = int(state["patience"])
+        self.min_delta = float(state["min_delta"])
+        best = state["best_state"]
+        self.best_state = (
+            None if best is None else {name: np.array(value, copy=True) for name, value in best.items()}
+        )

@@ -1,0 +1,62 @@
+"""NaN-rollback recovery policy for the trainer.
+
+Without a policy the trainer keeps its legacy behaviour: a NaN loss flows
+through, the NaN validation MAE counts against early-stopping patience, and
+``TrainerConfig(detect_anomaly=True)`` is the fail-fast option.  With
+``TrainerConfig(recovery=RecoveryPolicy(...))`` the trainer instead treats a
+bad batch as a fault: skip it, restore the last good model+optimizer
+snapshot, optionally back the learning rate off, and keep going — up to a
+bounded number of *consecutive* failures, after which
+:class:`RecoveryExhausted` surfaces the underlying problem.  Every rollback
+is emitted as a ``"recovery"`` telemetry record through the trainer's
+:class:`~repro.obs.MetricsSink`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RecoveryPolicy", "RecoveryExhausted"]
+
+
+class RecoveryExhausted(RuntimeError):
+    """Raised when consecutive rollbacks exceed ``RecoveryPolicy.max_retries``."""
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Knobs of the trainer's NaN-rollback recovery path.
+
+    Parameters
+    ----------
+    max_retries:
+        Consecutive failed batches tolerated before
+        :class:`RecoveryExhausted` is raised; any successful step resets
+        the counter.
+    lr_backoff:
+        Learning-rate multiplier applied per rollback (``1.0`` keeps the
+        rate).  Backoff is cumulative across consecutive rollbacks and also
+        rescales an attached scheduler's base rate so the reduction
+        survives the next scheduler step.
+    min_lr:
+        Floor under the backed-off learning rate.
+    snapshot_every:
+        Successful optimizer steps between good-state snapshots; rollback
+        restores the most recent one.  ``1`` (the default) rolls back to
+        the state just before the failing batch.
+    """
+
+    max_retries: int = 3
+    lr_backoff: float = 0.5
+    min_lr: float = 1e-6
+    snapshot_every: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 1:
+            raise ValueError("max_retries must be >= 1")
+        if not 0.0 < self.lr_backoff <= 1.0:
+            raise ValueError("lr_backoff must be in (0, 1]")
+        if self.min_lr <= 0:
+            raise ValueError("min_lr must be positive")
+        if self.snapshot_every < 1:
+            raise ValueError("snapshot_every must be >= 1")

@@ -1,12 +1,21 @@
-"""Seeding, timing and reporting utilities."""
+"""Seeding, timing, atomic persistence and reporting utilities."""
 
 from .ascii_plot import bar_chart, side_by_side, sparkline
-from .checkpoint import CheckpointError, load_checkpoint, save_checkpoint
+from .atomic import atomic_savez, atomic_write
+from .checkpoint import (
+    CheckpointError,
+    load_checkpoint,
+    load_training_checkpoint,
+    save_checkpoint,
+    save_training_checkpoint,
+)
 from .seed import get_rng, set_seed, spawn_rng
 from .timer import StopwatchStats, Timer, now
 
 __all__ = [
     "CheckpointError",
+    "atomic_savez",
+    "atomic_write",
     "bar_chart",
     "side_by_side",
     "sparkline",
@@ -14,8 +23,10 @@ __all__ = [
     "Timer",
     "get_rng",
     "load_checkpoint",
+    "load_training_checkpoint",
     "now",
     "save_checkpoint",
+    "save_training_checkpoint",
     "set_seed",
     "spawn_rng",
 ]

@@ -1,8 +1,23 @@
-"""Model checkpointing: save/load parameters and configuration.
+"""Model and training-state checkpointing.
 
-A checkpoint is a single ``.npz`` file holding every named parameter plus a
-JSON-encoded metadata blob (model class name, config dict, library version),
-so a trained forecaster can be shipped and reloaded without pickling code.
+Two artifact kinds, both single ``.npz`` files written atomically (see
+:mod:`repro.utils.atomic`) so a mid-write kill never leaves a truncated
+archive:
+
+* **model checkpoints** (:func:`save_checkpoint` / :func:`load_checkpoint`)
+  hold every named parameter plus a JSON-encoded metadata blob (model class
+  name, config dict), so a trained forecaster can be shipped and reloaded
+  without pickling code;
+* **training-state checkpoints** (:func:`save_training_checkpoint` /
+  :func:`load_training_checkpoint`) additionally capture optimizer moments,
+  scheduler counters, the early-stopping snapshot and free-form trainer
+  state (RNG states, curriculum counters, history), so a killed run resumed
+  via ``Trainer.fit(resume_from=...)`` continues to the same result as an
+  uninterrupted one.
+
+All loaders raise :class:`CheckpointError` — never a raw ``zipfile`` or
+``KeyError`` traceback — on truncated files, missing metadata or unknown
+format versions.
 """
 
 from __future__ import annotations
@@ -14,11 +29,24 @@ from pathlib import Path
 import numpy as np
 
 from ..nn.module import Module
+from .atomic import atomic_savez
 
-__all__ = ["save_checkpoint", "load_checkpoint", "CheckpointError"]
+__all__ = [
+    "save_checkpoint",
+    "load_checkpoint",
+    "save_training_checkpoint",
+    "load_training_checkpoint",
+    "CheckpointError",
+]
 
 _META_KEY = "__checkpoint_meta__"
 _FORMAT_VERSION = 1
+_TRAIN_FORMAT_VERSION = 1
+
+# Array-name prefixes inside a training-state archive.
+_MODEL_PREFIX = "model/"
+_OPTIM_PREFIX = "optim/"
+_BEST_PREFIX = "best/"
 
 
 class CheckpointError(RuntimeError):
@@ -35,12 +63,45 @@ def _config_to_dict(config) -> dict | None:
     raise TypeError(f"config must be a dataclass or dict, got {type(config)!r}")
 
 
+def _encode_meta(meta: dict) -> np.ndarray:
+    return np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+
+
+def _open_archive(path: Path):
+    """``np.load`` with malformed-file errors normalised to CheckpointError."""
+    try:
+        return np.load(path)
+    except FileNotFoundError:
+        raise CheckpointError(f"no checkpoint at {path}") from None
+    except Exception as error:  # zipfile.BadZipFile, OSError, EOFError, ...
+        raise CheckpointError(f"{path} is not a readable checkpoint archive: {error}") from error
+
+
+def _read_meta(path: Path, archive) -> dict:
+    if _META_KEY not in archive:
+        raise CheckpointError(f"{path} is not a repro checkpoint (missing metadata)")
+    try:
+        return json.loads(bytes(archive[_META_KEY].tobytes()).decode("utf-8"))
+    except Exception as error:
+        raise CheckpointError(f"{path} holds corrupted checkpoint metadata: {error}") from error
+
+
+def _read_arrays(path: Path, archive, names) -> dict[str, np.ndarray]:
+    """Materialise archive entries, normalising truncated-member errors."""
+    try:
+        return {name: archive[name] for name in names}
+    except Exception as error:
+        raise CheckpointError(f"{path} holds truncated checkpoint arrays: {error}") from error
+
+
 def save_checkpoint(path: str | Path, model: Module, config=None, extra: dict | None = None) -> Path:
     """Write ``model``'s parameters (and optional config/extra metadata) to ``path``.
 
     ``config`` may be a dataclass (e.g. :class:`~repro.core.D2STGNNConfig`)
     or a plain dict; ``extra`` is free-form JSON-serialisable metadata
-    (training metrics, dataset name, ...).
+    (training metrics, dataset name, ...).  The archive is written through
+    :func:`~repro.utils.atomic.atomic_write`, so an interrupted save leaves
+    any previous checkpoint at ``path`` intact.
     """
     path = Path(path)
     if path.suffix != ".npz":
@@ -56,10 +117,8 @@ def save_checkpoint(path: str | Path, model: Module, config=None, extra: dict | 
         "num_parameters": int(sum(v.size for v in state.values())),
     }
     arrays = dict(state)
-    arrays[_META_KEY] = np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez_compressed(path, **arrays)
-    return path
+    arrays[_META_KEY] = _encode_meta(meta)
+    return atomic_savez(path, **arrays)
 
 
 def load_checkpoint(path: str | Path, model: Module | None = None) -> dict:
@@ -67,24 +126,179 @@ def load_checkpoint(path: str | Path, model: Module | None = None) -> dict:
 
     Returns ``{"state": {...}, "meta": {...}}``.  When ``model`` is given its
     parameters are loaded in place (shapes are validated by
-    :meth:`~repro.nn.Module.load_state_dict`).
+    :meth:`~repro.nn.Module.load_state_dict`).  Truncated or foreign files
+    raise :class:`CheckpointError`.
     """
     path = Path(path)
     if not path.exists():
         raise CheckpointError(f"no checkpoint at {path}")
-    with np.load(path) as archive:
-        if _META_KEY not in archive:
-            raise CheckpointError(f"{path} is not a repro checkpoint (missing metadata)")
-        meta = json.loads(bytes(archive[_META_KEY].tobytes()).decode("utf-8"))
+    with _open_archive(path) as archive:
+        meta = _read_meta(path, archive)
         if meta.get("format_version") != _FORMAT_VERSION:
             raise CheckpointError(
                 f"unsupported checkpoint format {meta.get('format_version')!r}"
             )
-        state = {k: archive[k] for k in archive.files if k != _META_KEY}
+        state = _read_arrays(path, archive, (k for k in archive.files if k != _META_KEY))
     if model is not None:
-        if meta["model_class"] != type(model).__name__:
+        if meta.get("model_class") != type(model).__name__:
             raise CheckpointError(
-                f"checkpoint holds a {meta['model_class']}, not a {type(model).__name__}"
+                f"checkpoint holds a {meta.get('model_class')}, not a {type(model).__name__}"
             )
         model.load_state_dict(state)
     return {"state": state, "meta": meta}
+
+
+# ----------------------------------------------------------------------
+# Training-state checkpoints (crash-safe resume)
+# ----------------------------------------------------------------------
+def _split_optimizer_state(state: dict) -> tuple[dict, dict[str, np.ndarray]]:
+    """Separate an optimizer state dict into JSON scalars and npz arrays.
+
+    Array-list entries (the per-parameter moments) become
+    ``optim/<key>/<index>`` archive members; their JSON entry records the
+    list length so loading can reassemble them in order.
+    """
+    scalars: dict = {}
+    arrays: dict[str, np.ndarray] = {}
+    for key, value in state.items():
+        if isinstance(value, list) and value and isinstance(value[0], np.ndarray):
+            for index, array in enumerate(value):
+                arrays[f"{_OPTIM_PREFIX}{key}/{index}"] = array
+            scalars[key] = {"__array_list__": len(value)}
+        else:
+            scalars[key] = value
+    return scalars, arrays
+
+
+def _join_optimizer_state(scalars: dict, arrays: dict[str, np.ndarray]) -> dict:
+    state: dict = {}
+    for key, value in scalars.items():
+        if isinstance(value, dict) and "__array_list__" in value:
+            state[key] = [arrays[f"{key}/{index}"] for index in range(value["__array_list__"])]
+        else:
+            state[key] = value
+    return state
+
+
+def save_training_checkpoint(
+    path: str | Path,
+    *,
+    model: Module,
+    optimizer,
+    scheduler=None,
+    stopper=None,
+    trainer_state: dict | None = None,
+) -> Path:
+    """Atomically persist the full state of an in-progress training run.
+
+    Captures the model parameters, the optimizer's :meth:`state_dict`
+    (moments included), the scheduler's counters, the early-stopping state
+    (best loss, patience counter and best-weights snapshot) and
+    ``trainer_state`` — a free-form JSON-serialisable dict the
+    :class:`~repro.training.Trainer` uses for epoch/RNG/curriculum counters.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    arrays: dict[str, np.ndarray] = {}
+    for name, value in model.state_dict().items():
+        arrays[f"{_MODEL_PREFIX}{name}"] = value
+    optim_scalars, optim_arrays = _split_optimizer_state(optimizer.state_dict())
+    arrays.update(optim_arrays)
+    stopper_meta = None
+    if stopper is not None:
+        stopper_state = stopper.state_dict()
+        best = stopper_state.pop("best_state")
+        stopper_meta = {**stopper_state, "has_best_state": best is not None}
+        if best is not None:
+            for name, value in best.items():
+                arrays[f"{_BEST_PREFIX}{name}"] = value
+    meta = {
+        "format_version": _TRAIN_FORMAT_VERSION,
+        "kind": "training_state",
+        "model_class": type(model).__name__,
+        "optimizer_class": type(optimizer).__name__,
+        "optimizer": optim_scalars,
+        "scheduler": None if scheduler is None else scheduler.state_dict(),
+        "stopper": stopper_meta,
+        "trainer": trainer_state or {},
+    }
+    arrays[_META_KEY] = _encode_meta(meta)
+    return atomic_savez(path, **arrays)
+
+
+def load_training_checkpoint(
+    path: str | Path,
+    *,
+    model: Module | None = None,
+    optimizer=None,
+    scheduler=None,
+    stopper=None,
+) -> dict:
+    """Read a training-state checkpoint; optionally restore components in place.
+
+    Returns ``{"meta", "model_state", "optimizer_state", "scheduler_state",
+    "stopper_state", "trainer_state"}``.  Any of ``model`` / ``optimizer`` /
+    ``scheduler`` / ``stopper`` passed in is restored via its own
+    ``load_state_dict``.  Malformed files raise :class:`CheckpointError`.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise CheckpointError(f"no training checkpoint at {path}")
+    with _open_archive(path) as archive:
+        meta = _read_meta(path, archive)
+        if meta.get("kind") != "training_state":
+            raise CheckpointError(
+                f"{path} is a {meta.get('kind', 'model')!r} checkpoint, not a training state"
+            )
+        if meta.get("format_version") != _TRAIN_FORMAT_VERSION:
+            raise CheckpointError(
+                f"unsupported training-state format {meta.get('format_version')!r}"
+            )
+        everything = _read_arrays(path, archive, (k for k in archive.files if k != _META_KEY))
+    model_state = {
+        name[len(_MODEL_PREFIX):]: value
+        for name, value in everything.items()
+        if name.startswith(_MODEL_PREFIX)
+    }
+    optim_arrays = {
+        name[len(_OPTIM_PREFIX):]: value
+        for name, value in everything.items()
+        if name.startswith(_OPTIM_PREFIX)
+    }
+    best_state = {
+        name[len(_BEST_PREFIX):]: value
+        for name, value in everything.items()
+        if name.startswith(_BEST_PREFIX)
+    }
+    optimizer_state = _join_optimizer_state(meta["optimizer"], optim_arrays)
+    stopper_state = None
+    if meta.get("stopper") is not None:
+        stopper_state = dict(meta["stopper"])
+        has_best = stopper_state.pop("has_best_state", False)
+        stopper_state["best_state"] = best_state if has_best else None
+    if model is not None:
+        if meta.get("model_class") != type(model).__name__:
+            raise CheckpointError(
+                f"training state holds a {meta.get('model_class')}, not a {type(model).__name__}"
+            )
+        model.load_state_dict(model_state)
+    if optimizer is not None:
+        if meta.get("optimizer_class") != type(optimizer).__name__:
+            raise CheckpointError(
+                f"training state holds {meta.get('optimizer_class')} state, "
+                f"not {type(optimizer).__name__}"
+            )
+        optimizer.load_state_dict(optimizer_state)
+    if scheduler is not None and meta.get("scheduler") is not None:
+        scheduler.load_state_dict(meta["scheduler"])
+    if stopper is not None and stopper_state is not None:
+        stopper.load_state_dict(stopper_state)
+    return {
+        "meta": meta,
+        "model_state": model_state,
+        "optimizer_state": optimizer_state,
+        "scheduler_state": meta.get("scheduler"),
+        "stopper_state": stopper_state,
+        "trainer_state": meta.get("trainer", {}),
+    }

@@ -50,3 +50,9 @@ def bad_clocks():
     start = time.time()                   # line 50: R005
     tick = time.perf_counter()            # line 51: R005
     return start, tick
+
+
+def bad_persistence(path, arrays):
+    np.savez(path, **arrays)              # line 56: R006
+    np.savez_compressed(path, **arrays)   # line 57: R006
+    np.savez(path, **arrays)  # lint: disable=R006

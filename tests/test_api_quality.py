@@ -26,6 +26,7 @@ PACKAGES = [
     "repro.utils",
     "repro.obs",
     "repro.check",
+    "repro.faults",
 ]
 
 

@@ -31,6 +31,8 @@ EXPECTED = [
     (43, "R004"),  # .data slice write
     (50, "R005"),  # time.time()
     (51, "R005"),  # time.perf_counter()
+    (56, "R006"),  # raw np.savez
+    (57, "R006"),  # raw np.savez_compressed
 ]
 
 
@@ -82,6 +84,35 @@ class TestAllowlists:
         path = self._write(tmp_path, "src/repro/thing.py", body)
         assert lint_file(path, relative_to=tmp_path) == []
 
+    def test_atomic_helper_may_savez(self, tmp_path):
+        body = "import numpy as np\n\ndef save(handle, arrays):\n    np.savez_compressed(handle, **arrays)\n"
+        inside = self._write(tmp_path, "src/repro/utils/atomic.py", body)
+        outside = self._write(tmp_path, "src/repro/utils/other.py", body)
+        assert lint_file(inside, relative_to=tmp_path) == []
+        assert [f.rule for f in lint_file(outside, relative_to=tmp_path)] == ["R006"]
+
+    def test_persist_modules_may_not_open_for_write(self, tmp_path):
+        body = (
+            "def dump(path, text):\n"
+            "    with open(path, 'w') as handle:\n"
+            "        handle.write(text)\n"
+        )
+        inside = self._write(tmp_path, "src/repro/obs/sinks.py", body)
+        elsewhere = self._write(tmp_path, "src/repro/analysis/report.py", body)
+        assert [f.rule for f in lint_file(inside, relative_to=tmp_path)] == ["R006"]
+        assert lint_file(elsewhere, relative_to=tmp_path) == []
+
+    def test_persist_modules_may_append_and_read(self, tmp_path):
+        body = (
+            "def tail(path, line):\n"
+            "    with open(path, 'a') as handle:\n"
+            "        handle.write(line)\n"
+            "    with open(path) as handle:\n"
+            "        return handle.read()\n"
+        )
+        path = self._write(tmp_path, "src/repro/data/io.py", body)
+        assert lint_file(path, relative_to=tmp_path) == []
+
 
 class TestLintPaths:
     def test_repo_head_is_clean(self):
@@ -102,7 +133,7 @@ class TestLintPaths:
 
 class TestRuleTable:
     def test_rules_are_documented(self):
-        assert set(LINT_RULES) == {"R001", "R002", "R003", "R004", "R005"}
+        assert set(LINT_RULES) == {"R001", "R002", "R003", "R004", "R005", "R006"}
         for rule, description in LINT_RULES.items():
             assert description, rule
 

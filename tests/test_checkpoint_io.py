@@ -1,4 +1,7 @@
-"""Model checkpointing and dataset import/export."""
+"""Model checkpointing, dataset import/export and crash-safe persistence."""
+
+import json
+import zipfile
 
 import numpy as np
 import pytest
@@ -7,8 +10,11 @@ from repro import nn
 from repro.core import D2STGNN, D2STGNNConfig
 from repro.data import build_forecasting_data, load_dataset
 from repro.data.io import dataset_from_arrays, load_dataset_file, save_dataset
+from repro.obs import FileSink, read_jsonl
 from repro.training import predict_split
 from repro.utils import CheckpointError, load_checkpoint, save_checkpoint
+from repro.utils.atomic import atomic_savez, atomic_write
+from repro.utils.checkpoint import load_training_checkpoint, save_training_checkpoint
 
 
 class TestCheckpoint:
@@ -148,3 +154,205 @@ class TestTimeChannels:
         model = D2STGNN(config, data.adjacency)
         batch = next(iter(data.loader("train", batch_size=2)))
         assert model(batch.x, batch.tod, batch.dow).shape == (2, 12, tiny_dataset.num_nodes, 1)
+
+
+def _truncate(path, keep=200):
+    data = path.read_bytes()
+    path.write_bytes(data[: min(keep, len(data) // 2)])
+
+
+class TestCorruptedArchives:
+    """Every malformed on-disk state surfaces as CheckpointError, not a raw
+    zipfile/KeyError traceback."""
+
+    def test_truncated_checkpoint(self, tmp_path):
+        path = save_checkpoint(tmp_path / "m", nn.Linear(4, 4))
+        _truncate(path)
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_garbage_bytes_checkpoint(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"this is not a zip archive at all")
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_corrupted_meta_json(self, tmp_path):
+        path = tmp_path / "bad_meta.npz"
+        garbage = np.frombuffer(b"{not json", dtype=np.uint8)
+        np.savez(path, __checkpoint_meta__=garbage)  # lint: disable=R006
+        with pytest.raises(CheckpointError, match="metadata"):
+            load_checkpoint(path)
+
+    def test_unknown_format_version(self, tmp_path):
+        path = tmp_path / "future.npz"
+        meta = np.frombuffer(
+            json.dumps({"format_version": 999, "model_class": "Linear"}).encode(),
+            dtype=np.uint8,
+        )
+        np.savez(path, __checkpoint_meta__=meta)  # lint: disable=R006
+        with pytest.raises(CheckpointError, match="format"):
+            load_checkpoint(path)
+
+    def test_truncated_dataset(self, tmp_path, tiny_dataset):
+        path = save_dataset(tmp_path / "ds", tiny_dataset)
+        _truncate(path)
+        with pytest.raises(CheckpointError):
+            load_dataset_file(path)
+
+    def test_dataset_missing_meta(self, tmp_path):
+        path = tmp_path / "no_meta.npz"
+        np.savez(path, values=np.zeros((4, 2)))  # lint: disable=R006
+        with pytest.raises(CheckpointError, match="meta"):
+            load_dataset_file(path)
+
+    def test_dataset_format_mismatch(self, tmp_path, tiny_dataset):
+        path = save_dataset(tmp_path / "ds", tiny_dataset)
+        with np.load(path) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        meta = json.loads(bytes(arrays["meta"].tobytes()).decode("utf-8"))
+        meta["format_version"] = 999
+        arrays["meta"] = np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+        atomic_savez(path, **arrays)
+        with pytest.raises(CheckpointError, match="format"):
+            load_dataset_file(path)
+
+    def test_model_checkpoint_is_not_a_training_state(self, tmp_path):
+        path = save_checkpoint(tmp_path / "m", nn.Linear(2, 2))
+        with pytest.raises(CheckpointError, match="training"):
+            load_training_checkpoint(path)
+
+
+class TestAtomicWrite:
+    def test_writes_and_replaces(self, tmp_path):
+        path = tmp_path / "out.txt"
+        with atomic_write(path) as handle:
+            handle.write("first")
+        assert path.read_text() == "first"
+        with atomic_write(path) as handle:
+            handle.write("second")
+        assert path.read_text() == "second"
+
+    def test_failure_preserves_previous_content(self, tmp_path):
+        path = tmp_path / "out.txt"
+        path.write_text("survives")
+        with pytest.raises(RuntimeError, match="mid-write"):
+            with atomic_write(path) as handle:
+                handle.write("partial garbage")
+                raise RuntimeError("mid-write crash")
+        assert path.read_text() == "survives"
+        assert list(tmp_path.iterdir()) == [path]  # temp file cleaned up
+
+    def test_rejects_read_modes(self, tmp_path):
+        with pytest.raises(ValueError, match="write mode"):
+            with atomic_write(tmp_path / "x", mode="r"):
+                pass
+
+    def test_savez_failure_preserves_previous_archive(self, tmp_path):
+        path = atomic_savez(tmp_path / "a.npz", x=np.arange(3))
+        class Boom:
+            def __array__(self):
+                raise RuntimeError("poisoned array")
+        with pytest.raises(RuntimeError):
+            atomic_savez(path, x=Boom())
+        with np.load(path) as archive:  # old archive intact and readable
+            np.testing.assert_array_equal(archive["x"], np.arange(3))
+
+    def test_savez_archive_is_valid_zip(self, tmp_path):
+        path = atomic_savez(tmp_path / "a.npz", x=np.zeros(2), y=np.ones(3))
+        assert zipfile.is_zipfile(path)
+
+
+class TestTrainingCheckpoint:
+    def _setup(self):
+        from repro.optim import Adam, StepLR
+        from repro.training import EarlyStopping
+
+        model = nn.Linear(3, 2)
+        optimizer = Adam(model.parameters(), lr=0.01)
+        scheduler = StepLR(optimizer, step_size=5, gamma=0.1)
+        stopper = EarlyStopping(patience=3)
+        stopper.update(1.5, model.state_dict())
+        return model, optimizer, scheduler, stopper
+
+    def test_roundtrip(self, tmp_path):
+        model, optimizer, scheduler, stopper = self._setup()
+        # Take a couple of optimizer steps so the moments are non-trivial.
+        for _ in range(2):
+            optimizer.zero_grad()
+            (model(np.ones((4, 3), dtype=np.float32)) ** 2).sum().backward()
+            optimizer.step()
+        trainer_state = {"next_epoch": 3, "history": {"val_mae": [1.0, 0.9]}}
+        path = save_training_checkpoint(
+            tmp_path / "state", model=model, optimizer=optimizer,
+            scheduler=scheduler, stopper=stopper, trainer_state=trainer_state,
+        )
+
+        fresh_model, fresh_opt, fresh_sched, fresh_stop = self._setup()
+        info = load_training_checkpoint(
+            path, model=fresh_model, optimizer=fresh_opt,
+            scheduler=fresh_sched, stopper=fresh_stop,
+        )
+        assert info["trainer_state"] == trainer_state
+        for name, value in model.state_dict().items():
+            np.testing.assert_array_equal(value, fresh_model.state_dict()[name])
+        restored = fresh_opt.state_dict()
+        for key, value in optimizer.state_dict().items():
+            if isinstance(value, list):
+                for a, b in zip(value, restored[key]):
+                    np.testing.assert_array_equal(a, b)
+            else:
+                assert restored[key] == value
+        assert fresh_sched.state_dict() == scheduler.state_dict()
+        assert fresh_stop.best_loss == stopper.best_loss
+        np.testing.assert_array_equal(
+            fresh_stop.best_state["weight"], stopper.best_state["weight"]
+        )
+
+    def test_roundtrip_without_optional_parts(self, tmp_path):
+        model, optimizer, _, _ = self._setup()
+        path = save_training_checkpoint(tmp_path / "s", model=model, optimizer=optimizer)
+        info = load_training_checkpoint(path)
+        assert info["scheduler_state"] is None
+        assert info["stopper_state"] is None
+        assert info["trainer_state"] == {}
+
+    def test_wrong_optimizer_class_rejected(self, tmp_path):
+        from repro.optim import SGD
+
+        model, optimizer, _, _ = self._setup()
+        path = save_training_checkpoint(tmp_path / "s", model=model, optimizer=optimizer)
+        with pytest.raises(CheckpointError, match="Adam"):
+            load_training_checkpoint(path, optimizer=SGD(model.parameters(), lr=0.1))
+
+    def test_truncated_training_state(self, tmp_path):
+        model, optimizer, _, _ = self._setup()
+        path = save_training_checkpoint(tmp_path / "s", model=model, optimizer=optimizer)
+        _truncate(path)
+        with pytest.raises(CheckpointError):
+            load_training_checkpoint(path)
+
+
+class TestAtomicFileSink:
+    def test_atomic_sink_writes_valid_jsonl(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        with FileSink(path) as sink:
+            sink.emit({"event": "a", "n": 1})
+            sink.emit({"event": "b", "n": 2})
+        records = read_jsonl(path)
+        assert [r["event"] for r in records] == ["a", "b"]
+
+    def test_atomic_sink_preserves_existing_records(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        with FileSink(path) as sink:
+            sink.emit({"run": 1})
+        with FileSink(path) as sink:  # a resumed run appends, never clobbers
+            sink.emit({"run": 2})
+        assert [r["run"] for r in read_jsonl(path)] == [1, 2]
+
+    def test_append_mode_still_works(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        with FileSink(path, atomic=False) as sink:
+            sink.emit({"n": 1})
+            sink.emit({"n": 2})
+        assert [r["n"] for r in read_jsonl(path)] == [1, 2]

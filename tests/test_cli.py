@@ -167,3 +167,20 @@ class TestCheck:
     def test_unknown_model_rejected(self):
         with pytest.raises(SystemExit):
             main(["check", "--model", "NotAModel"])
+
+
+class TestTrainResume:
+    def test_resume_flag_round_trip(self, tmp_path, capsys):
+        state = tmp_path / "state.npz"
+        args = [
+            "train", "--dataset", "metr-la-sim", "--model", "GraphWaveNet",
+            "--nodes", "6", "--steps", "420", "--epochs", "1",
+            "--hidden", "8", "--layers", "1", "--resume", str(state),
+        ]
+        assert main(args) == 0
+        assert state.exists()
+        assert "starting fresh" in capsys.readouterr().out
+        # Second invocation with more epochs picks the run back up.
+        args[args.index("--epochs") + 1] = "2"
+        assert main(args) == 0
+        assert f"resuming from {state}" in capsys.readouterr().out

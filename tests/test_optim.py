@@ -125,3 +125,121 @@ class TestSchedulers:
         sched = CosineAnnealingLR(opt, total_epochs=8)
         lrs = [sched.step() for _ in range(8)]
         assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+
+class TestOptimizerState:
+    """state_dict round-trips are bit-identical and resume-equivalent."""
+
+    def _grad_step(self, optimizer, param):
+        optimizer.zero_grad()
+        (param * param).sum().backward()
+        optimizer.step()
+
+    @pytest.mark.parametrize("make", [
+        lambda p: Adam([p], lr=0.05, weight_decay=0.01),
+        lambda p: SGD([p], lr=0.05, momentum=0.9, weight_decay=0.01),
+    ])
+    def test_roundtrip_bit_identical(self, make):
+        p = quadratic_param()
+        optimizer = make(p)
+        for _ in range(5):
+            self._grad_step(optimizer, p)
+        state = optimizer.state_dict()
+
+        q = quadratic_param()
+        restored = make(q)
+        restored.load_state_dict(state)
+        for key, value in state.items():
+            mirrored = restored.state_dict()[key]
+            if isinstance(value, list):
+                for a, b in zip(value, mirrored):
+                    np.testing.assert_array_equal(a, b)
+            else:
+                assert mirrored == value
+
+    @pytest.mark.parametrize("make", [
+        lambda p: Adam([p], lr=0.05),
+        lambda p: SGD([p], lr=0.05, momentum=0.9),
+    ])
+    def test_restored_optimizer_continues_identically(self, make):
+        reference_param = quadratic_param()
+        reference = make(reference_param)
+        for _ in range(3):
+            self._grad_step(reference, reference_param)
+
+        interrupted_param = quadratic_param()
+        interrupted = make(interrupted_param)
+        for _ in range(2):
+            self._grad_step(interrupted, interrupted_param)
+        state = interrupted.state_dict()
+
+        resumed_param = nn.Parameter(interrupted_param.data.copy())
+        resumed = make(resumed_param)
+        resumed.load_state_dict(state)
+        self._grad_step(resumed, resumed_param)  # the "next" step after resume
+        self._grad_step(interrupted, interrupted_param)
+        np.testing.assert_array_equal(resumed_param.data, interrupted_param.data)
+        np.testing.assert_array_equal(resumed_param.data, reference_param.data)
+
+    def test_state_is_a_deep_copy(self):
+        p = quadratic_param()
+        optimizer = Adam([p], lr=0.05)
+        self._grad_step(optimizer, p)
+        state = optimizer.state_dict()
+        moment_before = state["m"][0].copy()
+        self._grad_step(optimizer, p)  # mutates the live moments
+        np.testing.assert_array_equal(state["m"][0], moment_before)
+
+    def test_rejects_wrong_array_count(self):
+        p = quadratic_param()
+        optimizer = Adam([p], lr=0.05)
+        state = optimizer.state_dict()
+        state["m"] = []
+        with pytest.raises(ValueError, match="arrays"):
+            Adam([quadratic_param()], lr=0.05).load_state_dict(state)
+
+    def test_rejects_wrong_shape(self):
+        p = quadratic_param()
+        optimizer = Adam([p], lr=0.05)
+        self._grad_step(optimizer, p)
+        state = optimizer.state_dict()
+        state["v"] = [np.zeros((2, 2))]
+        with pytest.raises(ValueError, match="shape"):
+            Adam([quadratic_param()], lr=0.05).load_state_dict(state)
+
+    def test_rejects_missing_lr(self):
+        with pytest.raises(ValueError, match="lr"):
+            Adam([quadratic_param()], lr=0.05).load_state_dict({})
+
+
+class TestSchedulerState:
+    def test_step_lr_roundtrip(self):
+        p = quadratic_param()
+        optimizer = Adam([p], lr=0.1)
+        scheduler = StepLR(optimizer, step_size=2, gamma=0.5)
+        for _ in range(3):
+            scheduler.step()
+        state = scheduler.state_dict()
+
+        fresh_opt = Adam([quadratic_param()], lr=0.1)
+        fresh = StepLR(fresh_opt, step_size=2, gamma=0.5)
+        fresh.load_state_dict(state)
+        assert fresh_opt.lr == optimizer.lr
+        fresh.step()
+        scheduler.step()
+        assert fresh_opt.lr == optimizer.lr
+
+    def test_cosine_roundtrip(self):
+        p = quadratic_param()
+        optimizer = Adam([p], lr=0.1)
+        scheduler = CosineAnnealingLR(optimizer, total_epochs=10, min_lr=0.01)
+        for _ in range(4):
+            scheduler.step()
+        state = scheduler.state_dict()
+
+        fresh_opt = Adam([quadratic_param()], lr=0.1)
+        fresh = CosineAnnealingLR(fresh_opt, total_epochs=10, min_lr=0.01)
+        fresh.load_state_dict(state)
+        fresh.step()
+        scheduler.step()
+        assert fresh_opt.lr == pytest.approx(optimizer.lr)

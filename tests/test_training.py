@@ -197,3 +197,36 @@ class TestSignificance:
         a = rng.normal(size=(5, 2))
         with pytest.raises(ValueError):
             paired_t_test(a, a, rng.normal(size=(6, 2)))
+
+
+class TestEarlyStoppingState:
+    def test_best_state_is_a_deep_copy(self):
+        """A live state_dict mutated after update() must not drift the snapshot."""
+        live = {"w": np.array([1.0, 2.0])}
+        stopper = EarlyStopping(patience=2)
+        stopper.update(1.0, live)
+        live["w"][:] = 99.0  # training keeps writing into the same arrays
+        np.testing.assert_array_equal(stopper.best_state["w"], [1.0, 2.0])
+
+    def test_state_dict_roundtrip(self):
+        stopper = EarlyStopping(patience=3, min_delta=0.1)
+        stopper.update(2.0, {"w": np.array([1.0])})
+        stopper.update(2.5, {"w": np.array([9.0])})  # worse: bad epoch
+        state = stopper.state_dict()
+
+        fresh = EarlyStopping(patience=3)
+        fresh.load_state_dict(state)
+        assert fresh.best_loss == stopper.best_loss
+        assert fresh.bad_epochs == 1
+        assert fresh.min_delta == 0.1
+        np.testing.assert_array_equal(fresh.best_state["w"], [1.0])
+        # The restored stopper continues the patience countdown, not restarts.
+        assert fresh.update(2.5, {"w": np.array([9.0])}) is False
+        assert fresh.update(2.5, {"w": np.array([9.0])}) is True
+
+    def test_state_dict_without_best(self):
+        state = EarlyStopping(patience=1).state_dict()
+        assert state["best_state"] is None
+        fresh = EarlyStopping(patience=1)
+        fresh.load_state_dict(state)
+        assert fresh.best_state is None
