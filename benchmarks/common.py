@@ -33,7 +33,7 @@ from repro.baselines import (
 )
 from repro.core import D2STGNN, D2STGNNConfig
 from repro.data import ForecastingData, build_forecasting_data, load_dataset
-from repro.training import Trainer, TrainerConfig, evaluate_horizons, predict_split
+from repro.training import Trainer, TrainerConfig, evaluate_split
 from repro.utils.seed import set_seed
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -173,8 +173,7 @@ def train_and_evaluate(
             ),
         )
         history = trainer.train()
-    prediction, target = predict_split(model, data, split="test")
-    report = evaluate_horizons(prediction, target)
+    report = evaluate_split(model, data, split="test")
     if history is not None:
         report["epoch_seconds"] = history.mean_epoch_seconds
     return report

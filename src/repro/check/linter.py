@@ -1,6 +1,6 @@
 """AST linter with repo-specific rules the generic tools cannot express.
 
-Six rules (R001–R006), each encoding an invariant this codebase relies on
+Seven rules (R001–R007), each encoding an invariant this codebase relies on
 for reproducibility or correctness — see ``docs/static-analysis.md`` for the
 full rationale table:
 
@@ -25,6 +25,11 @@ R006      persistent state must be written atomically — no raw
           ``np.savez*`` outside :mod:`repro.utils.atomic`, and no
           truncating ``open(..., "w")`` inside the state-persisting
           modules; a crash mid-write must never corrupt a checkpoint
+R007      no per-sample Python loops over batch indices inside the data
+          and training packages — batches must be assembled with one
+          vectorized gather (fancy indexing), not a ``for i in
+          indices`` / ``range(num_samples)`` loop, which dominates the
+          train-step time (see BENCH_train_step.json)
 ========  ==============================================================
 
 Suppression: append ``# lint: disable`` (all rules) or
@@ -60,6 +65,7 @@ LINT_RULES = {
     "R004": "no .data writes outside optim/ and the engine; use Tensor.copy_",
     "R005": "use repro.utils.timer.now(), not direct wall-clock reads",
     "R006": "persist state via repro.utils.atomic, not raw np.savez/open-for-write",
+    "R007": "no per-sample Python loops over batch indices; use one vectorized gather",
 }
 
 # Paths (posix, repo-relative prefixes) where a rule legitimately does not
@@ -88,6 +94,13 @@ _GLOBAL_RNG_ATTRS = frozenset({
 })
 
 _WALL_CLOCK_FNS = frozenset({"time", "perf_counter", "monotonic", "process_time"})
+
+# R007 applies only where batches are assembled and consumed — the hot paths
+# the train-step benchmark gates.
+_PER_SAMPLE_LOOP_PATHS = ("src/repro/data/", "src/repro/training/")
+
+# Iterable names that denote per-sample batch indices.
+_BATCH_INDEX_NAMES = frozenset({"indices", "idx", "idxs", "batch_indices", "sample_indices"})
 
 _SUPPRESS_RE = re.compile(r"#\s*lint:\s*disable(?:=(?P<rules>[\w,\s]+))?")
 
@@ -183,6 +196,7 @@ class _Visitor(ast.NodeVisitor):
         self._wall_clock_allowed = any(path.startswith(p) for p in _WALL_CLOCK_ALLOWED)
         self._atomic_write_allowed = any(path.startswith(p) for p in _ATOMIC_WRITE_ALLOWED)
         self._persists_state = any(path.startswith(p) for p in _PERSIST_STATE_PATHS)
+        self._batch_loop_scoped = any(path.startswith(p) for p in _PER_SAMPLE_LOOP_PATHS)
 
     def _report(self, node: ast.AST, rule: str, message: str) -> None:
         self.findings.append(Finding(self.path, node.lineno, rule, message))
@@ -303,6 +317,55 @@ class _Visitor(ast.NodeVisitor):
                     f"learnable array assigned raw in {class_name}.__init__; "
                     "wrap it in nn.Parameter so it is registered",
                 )
+
+    # -- R007 ----------------------------------------------------------
+    @staticmethod
+    def _is_batch_index_iterable(node: ast.expr) -> bool:
+        """True when a loop iterates per-sample over batch indices.
+
+        Matches iteration over a name/attribute called ``indices`` (and
+        friends) and ``range(...)`` driven by ``num_samples``.
+        """
+        if isinstance(node, ast.Name) and node.id in _BATCH_INDEX_NAMES:
+            return True
+        if isinstance(node, ast.Attribute) and node.attr in _BATCH_INDEX_NAMES:
+            return True
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "range"
+        ):
+            for arg in node.args:
+                terminal = (
+                    arg.attr if isinstance(arg, ast.Attribute)
+                    else arg.id if isinstance(arg, ast.Name)
+                    else None
+                )
+                if terminal == "num_samples":
+                    return True
+        return False
+
+    def _check_per_sample_loop(self, iter_node: ast.expr, report_node: ast.AST) -> None:
+        if self._batch_loop_scoped and self._is_batch_index_iterable(iter_node):
+            self._report(
+                report_node, "R007",
+                "per-sample Python loop over batch indices; "
+                "assemble the batch with one vectorized gather (fancy indexing)",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_per_sample_loop(node.iter, node)
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node) -> None:
+        for generator in node.generators:
+            self._check_per_sample_loop(generator.iter, node)
+        self.generic_visit(node)
+
+    visit_GeneratorExp = _visit_comprehension
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
 
     # -- R004 ----------------------------------------------------------
     def _is_data_write_target(self, target: ast.expr) -> bool:

@@ -6,7 +6,7 @@
                           --checkpoint model.npz --resume state.npz
     python -m repro evaluate --checkpoint model.npz --dataset metr-la-sim
     python -m repro profile --dataset metr-la-sim --model d2stgnn
-    python -m repro lint                      # repo-specific AST lint (R001-R006)
+    python -m repro lint                      # repo-specific AST lint (R001-R007)
     python -m repro check --dataset metr-la-sim   # model zoo static analysis
 
 Everything the CLI does is a thin layer over the public API; see
@@ -128,11 +128,10 @@ def cmd_train(args) -> int:
             sink.close()
             print(f"telemetry -> {args.telemetry}")
     trainer = Trainer(model, data) if args.model not in STATISTICAL else None
-    from .training import evaluate_horizons, predict_split
+    from .training import evaluate_split
 
-    prediction, target = predict_split(model, data, split="test")
     print()
-    print(format_horizon_report(args.model, evaluate_horizons(prediction, target)))
+    print(format_horizon_report(args.model, evaluate_split(model, data, split="test")))
     if args.checkpoint and args.model not in STATISTICAL:
         path = save_checkpoint(
             args.checkpoint, model, config,
@@ -151,8 +150,13 @@ def cmd_profile(args) -> int:
     backward + optimizer steps under :class:`repro.obs.Profiler`, prints the
     top-k op and module-scope tables, and writes the machine-readable
     baseline (schema ``repro.obs.profile/v1``) to ``--out``.
+
+    With ``--train-step`` it instead times full optimisation steps under the
+    engine's fast and reference backward configurations
+    (:func:`repro.obs.compare_fast_reference`) and writes
+    ``BENCH_train_step.json`` (schema ``repro.obs.train_step/v1``).
     """
-    from .obs import Profiler, annotate_model_scopes
+    from .obs import Profiler, annotate_model_scopes, compare_fast_reference
     from .optim import Adam, clip_grad_norm
     from .tensor import Tensor, functional as F
 
@@ -166,6 +170,35 @@ def cmd_profile(args) -> int:
     set_seed(args.seed)
     data = _get_data(args)
     model, _ = _build_model(name, data, args.hidden, args.layers)
+    if args.train_step:
+        timing = compare_fast_reference(
+            model, data,
+            batch_size=args.batch_size, steps=args.batches, warmup=args.warmup,
+        )
+        fast, reference = timing["fast"], timing["reference"]
+        print(f"timed {args.batches} training steps of {name} on {args.dataset} "
+              f"(batch size {fast['batch_size']}, {model.num_parameters():,} parameters)")
+        print(f"  fast:      {fast['step_ms_min']:8.2f} ms/step min "
+              f"({fast['samples_per_sec']:7.1f} samples/s, "
+              f"backward {fast['backward_us_min']:9.0f} us)")
+        print(f"  reference: {reference['step_ms_min']:8.2f} ms/step min "
+              f"({reference['samples_per_sec']:7.1f} samples/s, "
+              f"backward {reference['backward_us_min']:9.0f} us)")
+        print(f"  speedup:   x{timing['speedup_end_to_end']:.2f} end-to-end, "
+              f"x{timing['speedup_backward']:.2f} backward")
+        payload = {
+            "generated_by": "repro profile --train-step",
+            "schema": "repro.obs.train_step/v1",
+            "model": name,
+            "dataset": args.dataset,
+            "num_parameters": model.num_parameters(),
+            **timing,
+        }
+        out = Path(args.out if args.out else "BENCH_train_step.json")
+        with open(out, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"-> {out}")
+        return 0
     annotate_model_scopes(model)
     optimizer = Adam(model.parameters(), lr=0.001)
     scaler = data.scaler
@@ -203,7 +236,7 @@ def cmd_profile(args) -> int:
         "num_parameters": model.num_parameters(),
         **prof.to_dict(),
     }
-    out = Path(args.out)
+    out = Path(args.out if args.out else "BENCH_profile.json")
     with open(out, "w") as handle:
         json.dump(payload, handle, indent=2)
     print(f"\n{prof.distinct_ops()} distinct ops -> {out}")
@@ -213,7 +246,7 @@ def cmd_profile(args) -> int:
 def cmd_lint(args) -> int:
     """``repro lint``: run the repo-specific AST linter.
 
-    Lints every python file under the given paths with the R001-R006 rules
+    Lints every python file under the given paths with the R001-R007 rules
     (see ``docs/static-analysis.md``); exits 1 when any finding survives
     suppression comments, so CI can gate on it.
     """
@@ -264,10 +297,9 @@ def cmd_evaluate(args) -> int:
     layers = config.get("num_layers", 2)
     model, _ = _build_model("D2STGNN" if name == "D2STGNN" else name, data, hidden, layers)
     load_checkpoint(args.checkpoint, model)
-    from .training import evaluate_horizons, predict_split
+    from .training import evaluate_split
 
-    prediction, target = predict_split(model, data, split=args.split)
-    print(format_horizon_report(f"{name} ({args.split})", evaluate_horizons(prediction, target)))
+    print(format_horizon_report(f"{name} ({args.split})", evaluate_split(model, data, split=args.split)))
     return 0
 
 
@@ -331,11 +363,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--steps", type=int, default=None)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--top", type=int, default=10, help="rows in the printed tables")
-    p.add_argument("--out", default="BENCH_profile.json",
-                   help="where to write the machine-readable profile")
+    p.add_argument("--train-step", action="store_true",
+                   help="time full train steps (fast vs reference backward paths) "
+                        "instead of op-level profiling")
+    p.add_argument("--out", default=None,
+                   help="where to write the machine-readable result "
+                        "(default BENCH_profile.json, or BENCH_train_step.json "
+                        "with --train-step)")
     p.set_defaults(fn=cmd_profile)
 
-    p = sub.add_parser("lint", help="run the repo-specific AST linter (rules R001-R006)")
+    p = sub.add_parser("lint", help="run the repo-specific AST linter (rules R001-R007)")
     p.add_argument("paths", nargs="*", default=list(DEFAULT_LINT_PATHS),
                    help="files or directories to lint (default: src examples benchmarks)")
     p.add_argument("--root", default=".", help="repository root the paths are relative to")

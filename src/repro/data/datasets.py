@@ -202,11 +202,15 @@ def build_forecasting_data(
     history: int = 12,
     horizon: int = 12,
     time_channels: bool = False,
+    mask_nulls: bool = True,
 ) -> ForecastingData:
     """Assemble windows, chronological splits and a train-fit scaler.
 
     The scaler is fit on the *training portion only* (no leakage), masking
     the zero-encoded outages, exactly as the DCRNN/D2STGNN pipelines do.
+    With ``mask_nulls`` (the default) those outage entries are also mapped to
+    0.0 in scaled space — the training mean — so an outage reaches the model
+    as a neutral input rather than the extreme ``(0 - mean) / std``.
 
     ``time_channels`` appends two extra input channels — time-of-day in
     [0, 1) and day-of-week in [0, 1) — the input augmentation the official
@@ -215,7 +219,9 @@ def build_forecasting_data(
     values = dataset.series.values  # (T, N)
     splits = chronological_split(values.shape[0], dataset.spec.split)
     (train_start, train_stop), _, _ = splits
-    scaler = StandardScaler(null_value=0.0).fit(values[train_start:train_stop])
+    scaler = StandardScaler(null_value=0.0, mask_nulls=mask_nulls).fit(
+        values[train_start:train_stop]
+    )
     scaled = scaler.transform(values)[..., None]  # (T, N, 1)
     if time_channels:
         num_steps, num_nodes = values.shape

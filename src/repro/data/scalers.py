@@ -14,10 +14,18 @@ __all__ = ["StandardScaler"]
 
 
 class StandardScaler:
-    """Z-score normalisation fit on (optionally masked) training data."""
+    """Z-score normalisation fit on (optionally masked) training data.
 
-    def __init__(self, null_value: float | None = 0.0) -> None:
+    ``mask_nulls=True`` additionally maps entries equal to ``null_value`` to
+    0.0 in *scaled* space (the training mean — a neutral input).  Without it,
+    a zero-encoded sensor outage is z-scored like a real observation and
+    reaches the model as the extreme value ``(0 - mean) / std``, even though
+    every loss and metric masks it out of the target side.
+    """
+
+    def __init__(self, null_value: float | None = 0.0, mask_nulls: bool = False) -> None:
         self.null_value = null_value
+        self.mask_nulls = mask_nulls
         self.mean: float | None = None
         self.std: float | None = None
 
@@ -40,7 +48,11 @@ class StandardScaler:
 
     def transform(self, values: np.ndarray) -> np.ndarray:
         self._require_fit()
-        return ((np.asarray(values) - self.mean) / self.std).astype(np.float32)
+        values = np.asarray(values)
+        scaled = ((values - self.mean) / self.std).astype(np.float32)
+        if self.mask_nulls and self.null_value is not None:
+            scaled[np.isclose(values, self.null_value)] = 0.0
+        return scaled
 
     def inverse_transform(self, values: np.ndarray) -> np.ndarray:
         self._require_fit()

@@ -10,6 +10,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from ..utils.seed import spawn_rng
 
 __all__ = ["WindowDataset", "Batch", "BatchIterator"]
 
@@ -79,6 +82,7 @@ class WindowDataset:
         self.history = history
         self.horizon = horizon
         self.num_samples = total - history - horizon + 1
+        self._views = self._build_views()
 
     def __len__(self) -> int:
         return self.num_samples
@@ -96,8 +100,65 @@ class WindowDataset:
             self.day_of_week[start:mid],
         )
 
+    def _build_views(self):
+        """Precompute sliding-window views over every field.
+
+        Each view is a zero-copy strided window (``sliding_window_view``), so
+        :meth:`gather` can assemble a whole batch with one fancy-index per
+        field instead of a per-sample Python loop.  Returns ``None`` when a
+        field cannot be windowed (e.g. time indices shorter than the series),
+        in which case :meth:`gather` falls back to :meth:`gather_loop`.
+        """
+        try:
+            x = np.moveaxis(sliding_window_view(self.values_scaled, self.history, axis=0), -1, 1)
+            y = np.moveaxis(sliding_window_view(self.values_raw, self.horizon, axis=0), -1, 1)
+            tod = sliding_window_view(self.time_of_day, self.history, axis=0)
+            dow = sliding_window_view(self.day_of_week, self.history, axis=0)
+        except ValueError:
+            return None
+        # A sample at index i reads x/tod/dow windows at i and the y window at
+        # i + history; every view must cover the corresponding index range.
+        if (
+            x.shape[0] < self.num_samples
+            or y.shape[0] < self.num_samples + self.history
+            or tod.shape[0] < self.num_samples
+            or dow.shape[0] < self.num_samples
+        ):
+            return None
+        return x, y, tod, dow
+
     def gather(self, indices: np.ndarray) -> Batch:
-        xs, ys, tods, dows = zip(*(self.sample(int(i)) for i in indices))
+        """Assemble the batch for ``indices`` — one vectorized gather per field.
+
+        Fancy indexing into the precomputed sliding-window views copies each
+        sample exactly once, bit-identically to stacking per-sample slices
+        (:meth:`gather_loop`, the reference path).
+        """
+        indices = np.asarray(indices, dtype=np.intp)
+        if indices.size:
+            low, high = int(indices.min()), int(indices.max())
+            if low < 0 or high >= self.num_samples:
+                bad = low if low < 0 else high
+                raise IndexError(
+                    f"sample index {bad} out of range [0, {self.num_samples})"
+                )
+        if self._views is None:
+            return self.gather_loop(indices)
+        x_view, y_view, tod_view, dow_view = self._views
+        return Batch(
+            x=x_view[indices],
+            y=y_view[indices + self.history],
+            tod=tod_view[indices],
+            dow=dow_view[indices],
+        )
+
+    def gather_loop(self, indices: np.ndarray) -> Batch:
+        """Reference per-sample batch assembly (slow path).
+
+        Kept for inputs that cannot be windowed and as the oracle for the
+        vectorized-gather equivalence tests.
+        """
+        xs, ys, tods, dows = zip(*(self.sample(int(i)) for i in indices))  # lint: disable=R007
         return Batch(
             x=np.stack(xs), y=np.stack(ys), tod=np.stack(tods), dow=np.stack(dows)
         )
@@ -141,7 +202,12 @@ class BatchIterator:
         self.subset = subset
         self.batch_size = batch_size
         self.shuffle = shuffle
-        self.rng = rng or np.random.default_rng(0)
+        # Default to an independent stream split off the seeded library RNG:
+        # a shared default_rng(0) here would make every loader built without
+        # an explicit rng replay the same permutation (and a resumed run
+        # reshuffle from scratch).  The Trainer passes its own checkpointed
+        # generator, which keeps iteration order part of the resume contract.
+        self.rng = rng if rng is not None else spawn_rng()
 
     def __len__(self) -> int:
         return (len(self.subset) + self.batch_size - 1) // self.batch_size

@@ -19,6 +19,12 @@ on the command line, ``benchmarks/bench_profile_ops.py`` for the tracked
 
 from .profiler import OpStat, Profiler, ScopeStat, annotate_model_scopes
 from .sinks import FileSink, MemorySink, MetricsSink, StdoutSink, read_jsonl
+from .stepbench import (
+    FAST_CONFIG,
+    REFERENCE_CONFIG,
+    compare_fast_reference,
+    time_train_steps,
+)
 from .telemetry import (
     TELEMETRY_SCHEMA,
     epoch_record,
@@ -30,20 +36,24 @@ from .telemetry import (
 )
 
 __all__ = [
+    "FAST_CONFIG",
     "FileSink",
     "MemorySink",
     "MetricsSink",
     "OpStat",
     "Profiler",
+    "REFERENCE_CONFIG",
     "ScopeStat",
     "StdoutSink",
     "TELEMETRY_SCHEMA",
     "annotate_model_scopes",
+    "compare_fast_reference",
     "epoch_record",
     "recovery_record",
     "resume_record",
     "memory_high_water_mark_bytes",
     "read_jsonl",
     "sanitizer_record",
+    "time_train_steps",
     "train_end_record",
 ]

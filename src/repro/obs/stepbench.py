@@ -1,0 +1,117 @@
+"""Train-step throughput measurement: samples/sec and backward time.
+
+The harness behind ``benchmarks/bench_train_step.py`` and
+``repro profile --train-step``.  It times *full* optimisation steps —
+batch gather, forward, loss, backward, gradient clipping, optimizer
+update — because that is the quantity the ROADMAP's "as fast as the
+hardware allows" north star is judged on; the backward slice is timed
+separately since the cached-tape fast paths concentrate there.
+
+``compare_fast_reference`` times the same model under the engine's fast
+backward paths and under the reference configuration, giving every run a
+self-contained before/after (see docs/performance.md for how the two
+relate to the pre-fast-path baseline).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..optim import Adam, clip_grad_norm
+from ..tensor import Tensor, configure_fast_backward, fast_backward_config
+from ..tensor import functional as F
+from ..utils.timer import now
+
+__all__ = ["FAST_CONFIG", "REFERENCE_CONFIG", "compare_fast_reference", "time_train_steps"]
+
+# The engine's fast backward paths, and the reference ("slow") configuration
+# they are measured against.  ``fused_matmul`` stays on in both legs: it is
+# an allclose-only rewrite, so flipping it would change numerics rather than
+# merely the code path, breaking the bit-identity oracle the equivalence
+# tests rely on.
+FAST_CONFIG = {"tape": True, "scatter": True, "fused_matmul": True, "inplace": True}
+REFERENCE_CONFIG = {"tape": False, "scatter": False, "fused_matmul": True, "inplace": False}
+
+
+def time_train_steps(
+    model,
+    data,
+    *,
+    batch_size: int = 32,
+    steps: int = 8,
+    warmup: int = 2,
+    split: str = "train",
+    lr: float = 1e-3,
+    grad_clip: float = 5.0,
+) -> dict:
+    """Time ``steps`` full optimisation steps; return throughput statistics.
+
+    Each step gathers its own batch (round-robin over ``split``), so the
+    vectorized batching path is part of what is measured.  Minima are the
+    headline numbers — on a noisy machine the minimum is the least-biased
+    estimate of the achievable step time — with medians recorded alongside.
+    """
+    if steps < 1 or warmup < 0:
+        raise ValueError("steps must be >= 1 and warmup >= 0")
+    optimizer = Adam(model.parameters(), lr=lr)
+    scaler = data.scaler
+    subset = {"train": data.train, "val": data.val, "test": data.test}[split]
+    batch_size = min(batch_size, len(subset))
+    span = max(1, len(subset) - batch_size)
+    order = np.arange(len(subset))
+
+    def step(i: int) -> float:
+        batch = subset.gather(order[(i * batch_size) % span :][:batch_size])
+        optimizer.zero_grad()
+        prediction = model(batch.x, batch.tod, batch.dow) * scaler.std + scaler.mean
+        loss = F.masked_mae_loss(prediction, Tensor(batch.y))
+        begin = now()
+        loss.backward()
+        backward = now() - begin
+        clip_grad_norm(model.parameters(), grad_clip)
+        optimizer.step()
+        return backward
+
+    for i in range(warmup):
+        step(i)
+    totals, backwards = [], []
+    for i in range(steps):
+        begin = now()
+        backward = step(warmup + i)
+        totals.append(now() - begin)
+        backwards.append(backward)
+    totals.sort()
+    backwards.sort()
+    mid = len(totals) // 2
+    return {
+        "batch_size": batch_size,
+        "steps": steps,
+        "step_ms_min": totals[0] * 1e3,
+        "step_ms_median": totals[mid] * 1e3,
+        "backward_us_min": backwards[0] * 1e6,
+        "backward_us_median": backwards[mid] * 1e6,
+        "samples_per_sec": batch_size / totals[0],
+    }
+
+
+def compare_fast_reference(model, data, **kwargs) -> dict:
+    """Time the model under the reference and fast backward configurations.
+
+    Returns ``{"reference": ..., "fast": ...}`` (each a
+    :func:`time_train_steps` dict) plus end-to-end and backward speedups.
+    The engine configuration active on entry is restored afterwards.
+    """
+    previous = fast_backward_config()
+    try:
+        configure_fast_backward(**REFERENCE_CONFIG)
+        reference = time_train_steps(model, data, **kwargs)
+        configure_fast_backward(**FAST_CONFIG)
+        fast = time_train_steps(model, data, **kwargs)
+    finally:
+        configure_fast_backward(**previous)
+    return {
+        "reference": reference,
+        "fast": fast,
+        "speedup_end_to_end": reference["step_ms_min"] / fast["step_ms_min"],
+        "speedup_backward": reference["backward_us_min"] / fast["backward_us_min"],
+    }

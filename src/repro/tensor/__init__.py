@@ -1,15 +1,28 @@
 """Reverse-mode autodiff substrate (the repository's stand-in for PyTorch)."""
 
-from .tensor import DEFAULT_DTYPE, Tensor, is_grad_enabled, no_grad
+from .tensor import (
+    DEFAULT_DTYPE,
+    Tensor,
+    backward_tape_stats,
+    configure_fast_backward,
+    fast_backward_config,
+    is_grad_enabled,
+    no_grad,
+    reference_backward,
+)
 from . import functional
 from .gradcheck import gradcheck, numerical_gradient
 
 __all__ = [
     "DEFAULT_DTYPE",
     "Tensor",
+    "backward_tape_stats",
+    "configure_fast_backward",
+    "fast_backward_config",
     "functional",
     "gradcheck",
     "is_grad_enabled",
     "no_grad",
     "numerical_gradient",
+    "reference_backward",
 ]

@@ -3,8 +3,10 @@
 from .curriculum import CurriculumSchedule
 from .early_stopping import EarlyStopping
 from .evaluation import (
+    HorizonAccumulator,
     evaluate_horizons,
     evaluate_per_node,
+    evaluate_split,
     format_horizon_report,
     horizon_curve,
     predict_split,
@@ -19,6 +21,7 @@ __all__ = [
     "CurriculumSchedule",
     "EarlyStopping",
     "HORIZONS",
+    "HorizonAccumulator",
     "RecoveryExhausted",
     "RecoveryPolicy",
     "SignificanceResult",
@@ -28,6 +31,7 @@ __all__ = [
     "compute_all",
     "evaluate_horizons",
     "evaluate_per_node",
+    "evaluate_split",
     "horizon_curve",
     "format_horizon_report",
     "GridResult",

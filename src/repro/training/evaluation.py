@@ -13,12 +13,60 @@ from ..tensor import no_grad
 from .metrics import HORIZONS, compute_all
 
 __all__ = [
+    "HorizonAccumulator",
     "predict_split",
+    "evaluate_split",
     "evaluate_horizons",
     "evaluate_per_node",
     "horizon_curve",
     "format_horizon_report",
 ]
+
+
+class HorizonAccumulator:
+    """Streaming masked MAE / RMSE / MAPE over a stream of batches.
+
+    Accumulates the masked error sums and counts batch by batch, so a whole
+    split can be evaluated in O(batch) memory instead of materialising every
+    prediction first.  Matches :func:`repro.training.metrics.compute_all`
+    semantics: entries whose target equals ``null_value`` are ignored, and
+    MAPE additionally skips near-zero targets.
+    """
+
+    __slots__ = ("null_value", "_abs_sum", "_sq_sum", "_count", "_ape_sum", "_ape_count")
+
+    def __init__(self, null_value: float | None = 0.0) -> None:
+        self.null_value = null_value
+        self._abs_sum = 0.0
+        self._sq_sum = 0.0
+        self._count = 0
+        self._ape_sum = 0.0
+        self._ape_count = 0
+
+    def update(self, prediction: np.ndarray, target: np.ndarray) -> None:
+        if prediction.shape != target.shape:
+            raise ValueError("prediction and target shapes must match")
+        if self.null_value is None:
+            mask = np.ones(target.shape, dtype=bool)
+        else:
+            mask = ~np.isclose(target, self.null_value)
+        diff = np.abs(prediction[mask] - target[mask]).astype(np.float64)
+        self._abs_sum += float(diff.sum())
+        self._sq_sum += float(np.square(diff).sum())
+        self._count += int(mask.sum())
+        ape_mask = mask & (np.abs(target) > 1e-4)
+        ape = np.abs(prediction[ape_mask] - target[ape_mask]) / np.abs(target[ape_mask])
+        self._ape_sum += float(ape.astype(np.float64).sum())
+        self._ape_count += int(ape_mask.sum())
+
+    def compute(self) -> dict[str, float]:
+        """Return {"mae", "rmse", "mape"} for everything seen so far."""
+        nan = float("nan")
+        return {
+            "mae": self._abs_sum / self._count if self._count else nan,
+            "rmse": float(np.sqrt(self._sq_sum / self._count)) if self._count else nan,
+            "mape": self._ape_sum / self._ape_count * 100.0 if self._ape_count else nan,
+        }
 
 
 def predict_split(
@@ -29,6 +77,11 @@ def predict_split(
     ``model`` follows the library's forecaster contract:
     ``model(x, tod, dow) -> Tensor (B, T_f, N, C)`` in *scaled* units.
     The model is switched to eval mode (disables dropout) for the pass.
+
+    This materialises the full split — O(split) memory — which the Fig. 8
+    style visualisations need.  When only metrics are wanted, prefer
+    :func:`evaluate_split`, which streams batches through
+    :class:`HorizonAccumulator` in O(batch) memory.
     """
     if hasattr(model, "eval"):
         model.eval()
@@ -39,6 +92,50 @@ def predict_split(
             predictions.append(data.scaler.inverse_transform(out.numpy()))
             targets.append(batch.y)
     return np.concatenate(predictions, axis=0), np.concatenate(targets, axis=0)
+
+
+def evaluate_split(
+    model,
+    data: ForecastingData,
+    split: str = "test",
+    batch_size: int = 64,
+    horizons: tuple[int, ...] = HORIZONS,
+    null_value: float | None = 0.0,
+    return_arrays: bool = False,
+):
+    """Horizon-wise metrics for a split, streamed in O(batch) memory.
+
+    Equivalent to ``evaluate_horizons(*predict_split(model, data, split))``
+    but never materialises the split: each batch's predictions flow through
+    one :class:`HorizonAccumulator` per reported horizon plus the all-step
+    average.  With ``return_arrays=True`` the full (prediction, target)
+    arrays are additionally collected and returned as
+    ``(report, prediction, target)`` — the flag the Fig. 8 visualisation
+    path uses when it wants both the report and the raw series.
+    """
+    if hasattr(model, "eval"):
+        model.eval()
+    accumulators = {str(h): HorizonAccumulator(null_value) for h in horizons}
+    accumulators["avg"] = HorizonAccumulator(null_value)
+    predictions, targets = [], []
+    with no_grad():
+        for batch in data.loader(split, batch_size=batch_size, shuffle=False):
+            out = model(batch.x, batch.tod, batch.dow)
+            prediction = data.scaler.inverse_transform(out.numpy())
+            for h in horizons:
+                if h > prediction.shape[1]:
+                    raise ValueError(
+                        f"horizon {h} exceeds forecast length {prediction.shape[1]}"
+                    )
+                accumulators[str(h)].update(prediction[:, h - 1], batch.y[:, h - 1])
+            accumulators["avg"].update(prediction, batch.y)
+            if return_arrays:
+                predictions.append(prediction)
+                targets.append(batch.y)
+    report = {key: acc.compute() for key, acc in accumulators.items()}
+    if return_arrays:
+        return report, np.concatenate(predictions, axis=0), np.concatenate(targets, axis=0)
+    return report
 
 
 def evaluate_horizons(
@@ -72,12 +169,18 @@ def evaluate_per_node(
     if prediction.shape != target.shape:
         raise ValueError("prediction and target shapes must match")
     num_nodes = target.shape[2]
-    errors = np.empty(num_nodes)
-    for node in range(num_nodes):
-        errors[node] = compute_all(
-            prediction[:, :, node], target[:, :, node], null_value
-        )["mae"]
-    return errors
+    # One vectorized pass instead of a per-node loop: mask null targets, then
+    # reduce |error| sums and valid counts over every axis except the node axis.
+    if null_value is None:
+        mask = np.ones(target.shape, dtype=bool)
+    else:
+        mask = ~np.isclose(target, null_value)
+    axes = tuple(a for a in range(target.ndim) if a != 2)
+    sums = np.where(mask, np.abs(prediction - target), 0.0).sum(axis=axes, dtype=np.float64)
+    counts = mask.sum(axis=axes)
+    return np.divide(
+        sums, counts, out=np.full(num_nodes, np.nan), where=counts > 0
+    )
 
 
 def horizon_curve(

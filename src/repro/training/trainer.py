@@ -68,8 +68,7 @@ from ..utils.seed import get_rng
 from ..utils.timer import now
 from .curriculum import CurriculumSchedule
 from .early_stopping import EarlyStopping
-from .evaluation import evaluate_horizons, predict_split
-from .metrics import masked_mae
+from .evaluation import evaluate_split
 from .recovery import RecoveryExhausted, RecoveryPolicy
 
 __all__ = ["TrainerConfig", "TrainingHistory", "Trainer"]
@@ -490,12 +489,15 @@ class Trainer:
 
     # ------------------------------------------------------------------
     def validate(self) -> float:
-        """Masked MAE on the validation split (the early-stopping signal)."""
-        prediction, target = predict_split(self.model, self.data, split="val")
-        return masked_mae(prediction, target)
+        """Masked MAE on the validation split (the early-stopping signal).
+
+        Streamed through :func:`evaluate_split`, so validation never
+        materialises the whole split.
+        """
+        report = evaluate_split(self.model, self.data, split="val", horizons=())
+        return report["avg"]["mae"]
 
     def evaluate(self, split: str = "test") -> dict[str, dict[str, float]]:
-        """Horizon-wise test metrics of the (best) trained model."""
+        """Horizon-wise test metrics of the (best) trained model (streamed)."""
         self.model.eval()
-        prediction, target = predict_split(self.model, self.data, split=split)
-        return evaluate_horizons(prediction, target)
+        return evaluate_split(self.model, self.data, split=split)

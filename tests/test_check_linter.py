@@ -43,7 +43,9 @@ class TestGoldenFixture:
 
     def test_every_rule_fires_at_least_once(self):
         rules = {f.rule for f in lint_file(FIXTURE)}
-        assert rules == set(LINT_RULES)
+        # R007 is scoped to the data/training packages, so it cannot fire on
+        # the fixture's path; TestPerSampleLoops covers it in place.
+        assert rules == set(LINT_RULES) - {"R007"}
 
     def test_suppressed_lines_do_not_appear(self):
         lines = {f.line for f in lint_file(FIXTURE)}
@@ -114,6 +116,49 @@ class TestAllowlists:
         assert lint_file(path, relative_to=tmp_path) == []
 
 
+class TestPerSampleLoops:
+    """R007: no per-sample Python loops over batch indices in the hot paths."""
+
+    def _lint(self, tmp_path: Path, rel: str, body: str):
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(body)
+        return [f.rule for f in lint_file(path, relative_to=tmp_path)]
+
+    def test_for_loop_over_indices_flagged_in_data(self, tmp_path):
+        body = "def gather(self, indices):\n    for i in indices:\n        self.sample(i)\n"
+        assert self._lint(tmp_path, "src/repro/data/windows.py", body) == ["R007"]
+
+    def test_unscoped_packages_are_exempt(self, tmp_path):
+        body = "def walk(indices):\n    for i in indices:\n        print(i)\n"
+        assert self._lint(tmp_path, "src/repro/analysis/report.py", body) == []
+
+    def test_comprehension_over_attribute_indices_flagged(self, tmp_path):
+        body = "def gather(self):\n    return [self.sample(i) for i in self.batch_indices]\n"
+        assert self._lint(tmp_path, "src/repro/training/loop.py", body) == ["R007"]
+
+    def test_range_over_num_samples_flagged(self, tmp_path):
+        body = "def walk(self):\n    return [self.sample(i) for i in range(self.num_samples)]\n"
+        assert self._lint(tmp_path, "src/repro/data/windows.py", body) == ["R007"]
+
+    def test_unrelated_loops_pass(self, tmp_path):
+        body = (
+            "def epochs(batches, n):\n"
+            "    for batch in batches:\n"
+            "        pass\n"
+            "    for e in range(n):\n"
+            "        pass\n"
+        )
+        assert self._lint(tmp_path, "src/repro/training/loop.py", body) == []
+
+    def test_suppression_is_honoured(self, tmp_path):
+        body = (
+            "def gather_loop(self, indices):\n"
+            "    return [self.sample(i) for i in indices]  # lint: disable=R007\n"
+        )
+        assert self._lint(tmp_path, "src/repro/data/windows.py", body) == []
+
+
 class TestLintPaths:
     def test_repo_head_is_clean(self):
         findings = lint_paths(root=REPO_ROOT)
@@ -133,7 +178,9 @@ class TestLintPaths:
 
 class TestRuleTable:
     def test_rules_are_documented(self):
-        assert set(LINT_RULES) == {"R001", "R002", "R003", "R004", "R005", "R006"}
+        assert set(LINT_RULES) == {
+            "R001", "R002", "R003", "R004", "R005", "R006", "R007",
+        }
         for rule, description in LINT_RULES.items():
             assert description, rule
 

@@ -91,6 +91,38 @@ class TestKillAndResume:
             list(tiny_data.loader("train", batch_size=cfg.batch_size))
         )
 
+    def test_resume_restores_iterator_order(self, tiny_data, tmp_path):
+        """Loader shuffle order is part of the resume contract.
+
+        The Trainer checkpoints both its own batch-order generator and the
+        seeded library RNG (which default-constructed ``BatchIterator``s
+        split their stream from), so any loader built *after* training must
+        shuffle identically whether the run was resumed or not.
+        """
+
+        def first_shuffled_batch():
+            loader = tiny_data.loader("train", batch_size=16, shuffle=True)
+            return next(iter(loader)).x.tobytes()
+
+        cfg = _config(epochs=3)
+        set_seed(7)
+        Trainer(TinyForecaster(), tiny_data, cfg).fit()
+        expected = first_shuffled_batch()
+
+        state = tmp_path / "state.npz"
+        set_seed(7)
+        killed = Trainer(
+            TinyForecaster(), tiny_data, cfg,
+            faults=FaultSchedule([CrashFault(epoch=1)]),
+        )
+        with pytest.raises(SimulatedCrash):
+            killed.fit(state_path=state)
+
+        set_seed(999)  # resume must restore the library stream, not reuse this
+        resumed = Trainer(TinyForecaster(), tiny_data, cfg)
+        resumed.fit(resume_from=state, state_path=state)
+        assert first_shuffled_batch() == expected
+
     def test_resume_rejects_config_mismatch(self, tiny_data, tmp_path):
         state = tmp_path / "state.npz"
         set_seed(1)

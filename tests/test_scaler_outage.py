@@ -1,0 +1,111 @@
+"""Sensor-outage zeros must reach the model as neutral inputs, not z-scores.
+
+Regression suite for the scaler null leak: ``StandardScaler.transform`` used
+to z-score zero-encoded outages like real observations, so a dark sensor
+arrived at the model as the extreme "valid" speed ``(0 - mean) / std`` — in
+the exact regime the outage-aware evaluation (paper Fig. 8) studies.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.data import build_forecasting_data, load_dataset
+from repro.data.scalers import StandardScaler
+from repro.faults import OutageScenario, sample_outage_mask
+
+
+class TestStandardScalerMaskNulls:
+    def test_null_entries_map_to_zero_scaled(self):
+        values = np.array([[10.0, 0.0], [20.0, 30.0]], dtype=np.float32)
+        scaler = StandardScaler(null_value=0.0, mask_nulls=True).fit(values)
+        scaled = scaler.transform(values)
+        assert scaled[0, 1] == 0.0
+        assert not np.any(np.abs(scaled) > 2.0)
+
+    def test_without_mask_nulls_zero_leaks_as_extreme_input(self):
+        """The pre-fix behaviour this suite guards against."""
+        values = np.array([[60.0, 0.0], [58.0, 62.0]], dtype=np.float32)
+        scaler = StandardScaler(null_value=0.0).fit(values)
+        scaled = scaler.transform(values)
+        assert scaled[0, 1] < -10.0  # a zero z-scored far off the mean
+
+    def test_non_null_entries_unchanged_by_masking(self):
+        values = np.array([[10.0, 0.0], [20.0, 30.0]], dtype=np.float32)
+        masked = StandardScaler(null_value=0.0, mask_nulls=True).fit(values)
+        plain = StandardScaler(null_value=0.0).fit(values)
+        nonnull = values != 0.0
+        assert np.array_equal(
+            masked.transform(values)[nonnull], plain.transform(values)[nonnull]
+        )
+
+    def test_inverse_round_trips_non_null_entries(self, rng):
+        values = rng.uniform(20, 70, size=(50, 4)).astype(np.float32)
+        values[rng.random(values.shape) < 0.1] = 0.0
+        scaler = StandardScaler(null_value=0.0, mask_nulls=True).fit(values)
+        restored = scaler.inverse_transform(scaler.transform(values))
+        nonnull = values != 0.0
+        np.testing.assert_allclose(restored[nonnull], values[nonnull], atol=1e-4)
+
+    def test_null_value_none_disables_masking(self):
+        values = np.array([[1.0, 0.0], [2.0, 3.0]], dtype=np.float32)
+        scaler = StandardScaler(null_value=None, mask_nulls=True).fit(values)
+        scaled = scaler.transform(values)
+        assert scaled[0, 1] != 0.0  # nothing is treated as null
+
+
+class TestOutageNeutralInputs:
+    @pytest.fixture()
+    def outage_data(self, rng):
+        """A dataset with extra injected dropout on top of simulator outages."""
+        dataset = load_dataset("metr-la-sim", num_nodes=6, num_steps=300)
+        num_steps, num_nodes = dataset.series.values.shape
+        scenario = OutageScenario(rate=0.4, duration=(5, 30), seed=3)
+        mask = sample_outage_mask(rng, 1, num_steps, num_nodes, scenario)[0]
+        values = np.where(mask, 0.0, dataset.series.values)
+        series = dataclasses.replace(
+            dataset.series, values=values, failure_mask=dataset.series.failure_mask | mask
+        )
+        dataset = dataclasses.replace(dataset, series=series)
+        return build_forecasting_data(dataset), mask
+
+    def test_scaled_series_is_neutral_at_null_positions(self, outage_data):
+        data, mask = outage_data
+        assert mask.any(), "scenario injected no dropout; test is vacuous"
+        scaled = data.windows.values_scaled[..., 0]
+        assert np.all(scaled[mask] == 0.0)
+        # and no (0 - mean)/std artifact anywhere a sensor was dark
+        assert not np.any(np.abs(scaled[mask]) > 1e-6)
+
+    def test_loader_batches_are_neutral_at_null_positions(self, outage_data):
+        """What the model actually ingests: Batch.x is 0 where sensors are dark."""
+        data, mask = outage_data
+        history = data.windows.history
+        start = data.test.start
+        batch = next(iter(data.loader("test", batch_size=32, shuffle=False)))
+        for row in range(batch.size):
+            window_mask = mask[start + row : start + row + history]
+            assert np.all(batch.x[row, ..., 0][window_mask] == 0.0)
+
+    def test_gathered_inputs_zero_where_series_dark(self, outage_data):
+        data, mask = outage_data
+        dataset = data.windows
+        history = dataset.history
+        indices = np.arange(min(40, len(dataset)))
+        batch = dataset.gather(indices)
+        for row, start in enumerate(indices):
+            window_mask = mask[start : start + history]
+            assert np.all(batch.x[row, ..., 0][window_mask] == 0.0)
+
+    def test_targets_keep_raw_zeros_for_metric_masking(self, outage_data):
+        """y stays in original units so masked metrics still see the zeros."""
+        data, mask = outage_data
+        dataset = data.windows
+        history, horizon = dataset.history, dataset.horizon
+        batch = dataset.gather(np.arange(10))
+        for row in range(10):
+            target_mask = mask[row + history : row + history + horizon]
+            assert np.all(batch.y[row, ..., 0][target_mask] == 0.0)

@@ -1,0 +1,134 @@
+"""Streaming evaluation must agree with the materializing reference path.
+
+``evaluate_split`` streams batches through :class:`HorizonAccumulator` in
+O(batch) memory; these tests pin it to ``evaluate_horizons(*predict_split(...))``.
+The two differ only in float summation order (float64 streaming sums vs
+float32 pairwise means), so metric comparisons use rtol=1e-5 — the arrays
+returned by ``return_arrays=True`` are still required to match bitwise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor
+from repro.training import (
+    HorizonAccumulator,
+    evaluate_horizons,
+    evaluate_per_node,
+    evaluate_split,
+    predict_split,
+)
+from repro.training.metrics import compute_all
+
+
+class _EchoForecaster:
+    """Deterministic stub: forecasts the input window reversed in time."""
+
+    def __init__(self) -> None:
+        self.eval_calls = 0
+
+    def eval(self) -> None:
+        self.eval_calls += 1
+
+    def __call__(self, x, tod, dow):
+        return Tensor(np.ascontiguousarray(x[:, ::-1]))
+
+
+class TestEvaluateSplitAgainstReference:
+    @pytest.mark.parametrize("split", ["val", "test"])
+    def test_metrics_match_materialized_path(self, tiny_data, split):
+        model = _EchoForecaster()
+        streamed = evaluate_split(model, tiny_data, split=split)
+        reference = evaluate_horizons(*predict_split(model, tiny_data, split=split))
+        assert set(streamed) == set(reference)
+        for key, metrics in reference.items():
+            for name, value in metrics.items():
+                np.testing.assert_allclose(
+                    streamed[key][name], value, rtol=1e-5, err_msg=f"{key}/{name}"
+                )
+
+    def test_return_arrays_bitwise_equal_to_predict_split(self, tiny_data):
+        model = _EchoForecaster()
+        report, prediction, target = evaluate_split(
+            model, tiny_data, split="test", return_arrays=True
+        )
+        ref_prediction, ref_target = predict_split(model, tiny_data, split="test")
+        assert prediction.tobytes() == ref_prediction.tobytes()
+        assert target.tobytes() == ref_target.tobytes()
+        assert "avg" in report
+
+    def test_switches_model_to_eval_mode(self, tiny_data):
+        model = _EchoForecaster()
+        evaluate_split(model, tiny_data, split="val", horizons=())
+        assert model.eval_calls == 1
+
+    def test_rejects_horizon_beyond_forecast(self, tiny_data):
+        with pytest.raises(ValueError, match="exceeds forecast length"):
+            evaluate_split(_EchoForecaster(), tiny_data, split="val", horizons=(99,))
+
+
+class TestHorizonAccumulator:
+    def _random_pair(self, rng, shape=(6, 12, 4, 1)):
+        target = rng.uniform(0, 70, size=shape).astype(np.float32)
+        target[rng.random(shape) < 0.15] = 0.0  # null-coded outages
+        prediction = target + rng.normal(0, 3, size=shape).astype(np.float32)
+        return prediction, target
+
+    def test_matches_compute_all_over_batches(self, rng):
+        acc = HorizonAccumulator(null_value=0.0)
+        chunks = [self._random_pair(rng) for _ in range(4)]
+        for prediction, target in chunks:
+            acc.update(prediction, target)
+        prediction = np.concatenate([c[0] for c in chunks])
+        target = np.concatenate([c[1] for c in chunks])
+        expected = compute_all(prediction, target, null_value=0.0)
+        result = acc.compute()
+        for name in ("mae", "rmse", "mape"):
+            np.testing.assert_allclose(result[name], expected[name], rtol=1e-5)
+
+    def test_null_value_none_counts_everything(self, rng):
+        prediction, target = self._random_pair(rng)
+        acc = HorizonAccumulator(null_value=None)
+        acc.update(prediction, target)
+        expected = compute_all(prediction, target, null_value=None)
+        np.testing.assert_allclose(acc.compute()["mae"], expected["mae"], rtol=1e-5)
+
+    def test_empty_accumulator_returns_nan(self):
+        result = HorizonAccumulator().compute()
+        assert all(np.isnan(value) for value in result.values())
+
+    def test_all_null_targets_return_nan(self):
+        acc = HorizonAccumulator(null_value=0.0)
+        acc.update(np.ones((2, 3)), np.zeros((2, 3)))
+        result = acc.compute()
+        assert all(np.isnan(value) for value in result.values())
+
+    def test_shape_mismatch_raises(self):
+        acc = HorizonAccumulator()
+        with pytest.raises(ValueError, match="shapes must match"):
+            acc.update(np.ones((2, 3)), np.ones((3, 2)))
+
+
+class TestEvaluatePerNodeVectorized:
+    def test_matches_per_node_loop(self, rng):
+        shape = (5, 12, 7, 1)
+        target = rng.uniform(0, 70, size=shape).astype(np.float32)
+        target[rng.random(shape) < 0.2] = 0.0
+        prediction = target + rng.normal(0, 2, size=shape).astype(np.float32)
+        result = evaluate_per_node(prediction, target)
+        expected = np.array([
+            compute_all(prediction[:, :, n], target[:, :, n], null_value=0.0)["mae"]
+            for n in range(shape[2])
+        ])
+        np.testing.assert_allclose(result, expected, rtol=1e-5)
+
+    def test_all_null_node_is_nan(self, rng):
+        shape = (4, 6, 3, 1)
+        target = rng.uniform(10, 70, size=shape).astype(np.float32)
+        target[:, :, 1] = 0.0  # node 1 dark for the whole split
+        prediction = target + 1.0
+        result = evaluate_per_node(prediction, target)
+        assert np.isnan(result[1])
+        assert not np.isnan(result[[0, 2]]).any()
