@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test test-faults bench bench-smoke bench-full experiments examples clean docs-check profile lint check ci
+.PHONY: install test test-faults bench bench-smoke bench-full serve-smoke experiments examples clean docs-check profile lint check ci
 
 install:
 	pip install -e .
@@ -20,7 +20,7 @@ lint:
 check:
 	python -m repro check
 
-ci: lint docs-check test-faults test bench-smoke
+ci: lint docs-check test-faults test bench-smoke serve-smoke
 
 profile:
 	python -m repro profile --dataset metr-la-sim --model d2stgnn --out BENCH_profile.json
@@ -35,6 +35,12 @@ bench:
 # fast paths and the vectorized gather, cheap enough to run on every CI pass.
 bench-smoke:
 	REPRO_BENCH_PROFILE=tiny pytest benchmarks/bench_train_step.py --benchmark-only -q
+
+# Serving regression gate: replays a request trace through the online
+# inference stack and asserts batched forwards are bit-identical to (and at
+# least 3x faster than) sequential single-request forwards.
+serve-smoke:
+	REPRO_BENCH_PROFILE=tiny pytest benchmarks/bench_serve.py --benchmark-only -q
 
 bench-output:
 	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt

@@ -1,0 +1,181 @@
+"""Serving throughput — the regression gate for the micro-batching engine.
+
+Measures the one claim the serving subsystem stands on: coalescing requests
+into a batched forward beats serving them one at a time.  Sixteen distinct
+request windows from the metr-la-sim tail are served twice through the same
+:class:`~repro.serve.MicroBatcher` — sequentially (sixteen batch-1 forwards)
+and coalesced (one batch-16 forward) — and the coalesced leg must be at
+least 3x faster *and* bit-identical per request (a batched numpy matmul
+against 2-D weights is the same per-sample GEMMs stacked, so batching is
+exact, not approximate).
+
+A full-stack replay through :class:`~repro.serve.ServingEngine` then
+records end-to-end latency percentiles, cache hit counters and a forced
+outage-degradation, landing in ``benchmarks/results/serve.json`` and the
+tracked repo-root ``BENCH_serve.json``.  The CLI equivalent for one-off
+runs is ``repro serve``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from benchmarks.common import get_data, profile, save_results
+from repro.models import build_model
+from repro.serve import (
+    ForecastRequest,
+    MicroBatcher,
+    ModelRegistry,
+    ServeConfig,
+    ServingEngine,
+    SlidingWindowStore,
+    make_servable,
+    replay_split,
+)
+from repro.utils.seed import set_seed
+from repro.utils.timer import now
+
+MODEL = "D2STGNN"
+DATASET = "metr-la-sim"
+BATCH = 16
+TIMING_ROUNDS = 3
+REPLAY_STEPS = 12
+REQUESTS_PER_STEP = 4
+
+
+def _distinct_requests(data, history: int, count: int) -> list[ForecastRequest]:
+    """``count`` distinct request windows from the tail of the series."""
+    series = data.dataset.series
+    values, tod, dow = series.values, series.time_of_day, series.day_of_week
+    total = values.shape[0]
+    requests = []
+    for index in range(count):
+        start = total - history - count + index
+        window = data.scaler.transform(values[start : start + history])
+        requests.append(
+            ForecastRequest(
+                x=window[None, :, :, None],
+                tod=tod[start : start + history][None, :].astype(np.int64),
+                dow=dow[start : start + history][None, :].astype(np.int64),
+            )
+        )
+    return requests
+
+
+def _bench_microbatch(registry, requests) -> dict:
+    """Sequential batch-1 forwards vs one coalesced forward, same batcher."""
+    batcher = MicroBatcher(registry.resolve, max_batch=BATCH)
+
+    sequential_outputs = [batcher.run_batch([request])[0][0] for request in requests]
+    batched_outputs, _ = batcher.run_batch(requests)
+    identical = all(
+        a.tobytes() == b.tobytes()
+        for a, b in zip(sequential_outputs, batched_outputs)
+    )
+
+    def best_of(run) -> float:
+        best = float("inf")
+        for _ in range(TIMING_ROUNDS):
+            begin = now()
+            run()
+            best = min(best, now() - begin)
+        return best
+
+    sequential_s = best_of(
+        lambda: [batcher.run_batch([request]) for request in requests]
+    )
+    batched_s = best_of(lambda: batcher.run_batch(requests))
+    return {
+        "batch_size": len(requests),
+        "bitwise_identical": identical,
+        "sequential_ms": sequential_s * 1000.0,
+        "batched_ms": batched_s * 1000.0,
+        "speedup": sequential_s / batched_s,
+    }
+
+
+def _bench_engine(data, registry, bundle) -> dict:
+    """Full-stack replay: latency percentiles, cache and fallback counters."""
+    store = SlidingWindowStore.for_bundle(bundle)
+    with ServingEngine(registry, store, ServeConfig(max_wait_s=0.001)) as engine:
+        summary = replay_split(
+            engine, data, steps=REPLAY_STEPS, requests_per_step=REQUESTS_PER_STEP
+        )
+        # Force the degradation path: a full window of zero-coded outage
+        # rows pushes outage_fraction to 1.0, above any sane threshold.
+        last_tod, last_dow = store.last_time()
+        dark = np.zeros(store.num_nodes, dtype=np.float32)
+        for step in range(store.history):
+            engine.observe(dark, (last_tod + 1 + step) % bundle.spec.steps_per_day, last_dow)
+        outage_result = engine.forecast()
+        telemetry = engine.telemetry_report()
+    return {
+        "replay": {key: summary[key] for key in ("steps", "requests", "sources", "fallback_reasons")},
+        "outage_source": outage_result.source,
+        "outage_reason": outage_result.reason,
+        "telemetry": {
+            key: telemetry[key]
+            for key in (
+                "requests", "batches", "mean_batch_size",
+                "latency_ms_p50", "latency_ms_p95", "latency_ms_p99",
+                "queue_depth_max", "cache_hits", "cache_misses",
+                "cache_hit_rate", "fallbacks", "fallback_reasons",
+                "served_by_model", "served_by_cache", "active_version",
+            )
+        },
+    }
+
+
+def test_serve_throughput(benchmark):
+    data = get_data(DATASET)
+    p = profile()
+    set_seed(0)
+    model, _ = build_model(MODEL, data, hidden=p.hidden_dim, layers=p.num_layers)
+    bundle = make_servable(
+        MODEL, model, data, hidden=p.hidden_dim, layers=p.num_layers
+    )
+    registry = ModelRegistry()
+    registry.publish(bundle)
+    requests = _distinct_requests(data, bundle.spec.history, BATCH)
+
+    def run():
+        return {
+            "microbatch": _bench_microbatch(registry, requests),
+            "engine": _bench_engine(data, registry, bundle),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    profile_name = os.environ.get("REPRO_BENCH_PROFILE", "bench").lower()
+    m = results["microbatch"]
+    t = results["engine"]["telemetry"]
+    print(f"\n=== Serving throughput ({MODEL} on {DATASET}, {profile_name} profile) ===")
+    print(f"micro-batch: {m['sequential_ms']:.2f} ms sequential vs "
+          f"{m['batched_ms']:.2f} ms batched at batch {m['batch_size']} "
+          f"(x{m['speedup']:.2f}, bit-identical: {m['bitwise_identical']})")
+    print(f"engine:      p50 {t['latency_ms_p50']:.2f} / p95 {t['latency_ms_p95']:.2f} / "
+          f"p99 {t['latency_ms_p99']:.2f} ms, cache hit rate {t['cache_hit_rate']:.2f}, "
+          f"fallbacks {t['fallbacks']} {t['fallback_reasons']}")
+
+    assert m["bitwise_identical"], "batched forward diverged from single-request forwards"
+    assert m["speedup"] >= 3.0, f"micro-batching speedup x{m['speedup']:.2f} below the 3x gate"
+    assert results["engine"]["outage_source"] == "fallback"
+    assert results["engine"]["outage_reason"] == "outage"
+    assert t["cache_hits"] > 0, "replay produced no cache hits"
+    assert t["fallbacks"] > 0, "forced outage did not register as a fallback"
+
+    payload = {
+        "schema": "repro.bench.serve/v1",
+        "dataset": DATASET,
+        "model": MODEL,
+        "profile": profile_name,
+        **results,
+    }
+    save_results("serve", payload)
+    root = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+    with open(root, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)

@@ -14,9 +14,11 @@ enforcement (see ``docs/static-analysis.md``):
   contract breaks, float64 drift inside the op graph, and dead parameters
   (registered but unreachable by gradients).
 * :mod:`repro.check.linter` — AST linter with repo-specific rules
-  (R001–R006): global RNG use, missing ``super().__init__``, unregistered
+  (R001–R008): global RNG use, missing ``super().__init__``, unregistered
   parameters, raw ``.data`` writes, wall-clock access outside the shared
-  timer, non-atomic writes of persistent state.
+  timer, non-atomic writes of persistent state, per-sample Python loops
+  over batch indices, and model forwards inside :mod:`repro.serve` outside
+  the micro-batcher.
 
 Entry points: ``repro check`` / ``repro lint`` on the command line,
 ``make lint`` / ``make ci`` in the build, and the functions re-exported

@@ -1,6 +1,6 @@
 """AST linter with repo-specific rules the generic tools cannot express.
 
-Seven rules (R001–R007), each encoding an invariant this codebase relies on
+Eight rules (R001–R008), each encoding an invariant this codebase relies on
 for reproducibility or correctness — see ``docs/static-analysis.md`` for the
 full rationale table:
 
@@ -30,6 +30,10 @@ R007      no per-sample Python loops over batch indices inside the data
           vectorized gather (fancy indexing), not a ``for i in
           indices`` / ``range(num_samples)`` loop, which dominates the
           train-step time (see BENCH_train_step.json)
+R008      no model forwards inside :mod:`repro.serve` outside the
+          micro-batcher — every serving-path forward must flow through
+          ``microbatch.py`` so requests coalesce into one batched pass
+          and the throughput gate in ``BENCH_serve.json`` stays honest
 ========  ==============================================================
 
 Suppression: append ``# lint: disable`` (all rules) or
@@ -66,6 +70,7 @@ LINT_RULES = {
     "R005": "use repro.utils.timer.now(), not direct wall-clock reads",
     "R006": "persist state via repro.utils.atomic, not raw np.savez/open-for-write",
     "R007": "no per-sample Python loops over batch indices; use one vectorized gather",
+    "R008": "no model forwards in repro.serve outside the micro-batcher",
 }
 
 # Paths (posix, repo-relative prefixes) where a rule legitimately does not
@@ -101,6 +106,13 @@ _PER_SAMPLE_LOOP_PATHS = ("src/repro/data/", "src/repro/training/")
 
 # Iterable names that denote per-sample batch indices.
 _BATCH_INDEX_NAMES = frozenset({"indices", "idx", "idxs", "batch_indices", "sample_indices"})
+
+# R008: inside the serving package every model forward must go through the
+# micro-batcher, so single-request forwards sprinkled elsewhere in the
+# package cannot silently bypass request coalescing.
+_SERVE_PATHS = ("src/repro/serve/",)
+_SERVE_FORWARD_ALLOWED = ("src/repro/serve/microbatch.py",)
+_SERVE_MODEL_NAMES = frozenset({"model", "servable"})
 
 _SUPPRESS_RE = re.compile(r"#\s*lint:\s*disable(?:=(?P<rules>[\w,\s]+))?")
 
@@ -197,6 +209,9 @@ class _Visitor(ast.NodeVisitor):
         self._atomic_write_allowed = any(path.startswith(p) for p in _ATOMIC_WRITE_ALLOWED)
         self._persists_state = any(path.startswith(p) for p in _PERSIST_STATE_PATHS)
         self._batch_loop_scoped = any(path.startswith(p) for p in _PER_SAMPLE_LOOP_PATHS)
+        self._serve_forward_scoped = any(
+            path.startswith(p) for p in _SERVE_PATHS
+        ) and not any(path.startswith(p) for p in _SERVE_FORWARD_ALLOWED)
 
     def _report(self, node: ast.AST, rule: str, message: str) -> None:
         self.findings.append(Finding(self.path, node.lineno, rule, message))
@@ -251,6 +266,13 @@ class _Visitor(ast.NodeVisitor):
                 f"np.{node.func.attr} is not crash-safe; "
                 "use repro.utils.atomic.atomic_savez",
             )
+        # R008: model forwards inside repro.serve outside the micro-batcher.
+        if self._serve_forward_scoped and self._is_model_forward(node):
+            self._report(
+                node, "R008",
+                "model forward outside the micro-batcher; "
+                "submit requests through repro.serve.MicroBatcher",
+            )
         # R006: truncating open() inside the state-persisting modules.
         if (
             self._persists_state
@@ -264,6 +286,21 @@ class _Visitor(ast.NodeVisitor):
                 "use repro.utils.atomic.atomic_write",
             )
         self.generic_visit(node)
+
+    @staticmethod
+    def _is_model_forward(node: ast.Call) -> bool:
+        """True when a call invokes a model directly (R008).
+
+        Matches ``model(...)`` / ``servable(...)`` calls through a bare name
+        or a terminal attribute (``self.model(...)``), plus any explicit
+        ``something.forward(...)`` invocation.
+        """
+        func = node.func
+        if isinstance(func, ast.Name):
+            return func.id in _SERVE_MODEL_NAMES
+        if isinstance(func, ast.Attribute):
+            return func.attr in _SERVE_MODEL_NAMES or func.attr == "forward"
+        return False
 
     @staticmethod
     def _opens_for_write(node: ast.Call) -> bool:

@@ -5,8 +5,9 @@
     python -m repro train --dataset metr-la-sim --model D2STGNN --epochs 4 \
                           --checkpoint model.npz --resume state.npz
     python -m repro evaluate --checkpoint model.npz --dataset metr-la-sim
+    python -m repro serve --dataset metr-la-sim --model STGCN --replay-steps 32
     python -m repro profile --dataset metr-la-sim --model d2stgnn
-    python -m repro lint                      # repo-specific AST lint (R001-R007)
+    python -m repro lint                      # repo-specific AST lint (R001-R008)
     python -m repro check --dataset metr-la-sim   # model zoo static analysis
 
 Everything the CLI does is a thin layer over the public API; see
@@ -25,7 +26,7 @@ from .data import PRESETS, build_forecasting_data, load_dataset
 from .data.io import load_dataset_file, save_dataset
 from .models import MODEL_NAMES, STATISTICAL, build_model, canonical_model
 from .training import Trainer, TrainerConfig, format_horizon_report
-from .utils.checkpoint import load_checkpoint, save_checkpoint
+from .utils.checkpoint import CheckpointError, load_checkpoint, save_checkpoint
 from .utils.seed import set_seed
 
 
@@ -246,7 +247,7 @@ def cmd_profile(args) -> int:
 def cmd_lint(args) -> int:
     """``repro lint``: run the repo-specific AST linter.
 
-    Lints every python file under the given paths with the R001-R007 rules
+    Lints every python file under the given paths with the R001-R008 rules
     (see ``docs/static-analysis.md``); exits 1 when any finding survives
     suppression comments, so CI can gate on it.
     """
@@ -303,6 +304,90 @@ def cmd_evaluate(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """``repro serve``: replay a recorded stream through the serving stack.
+
+    Packages the model into a servable bundle (or loads one from
+    ``--servable``), publishes it to an in-process registry, then drives a
+    :class:`~repro.serve.ServingEngine` over the tail of the dataset:
+    streaming ingestion, micro-batched forwards, prediction caching and
+    historical-average degradation, with the telemetry summary printed (and
+    optionally written as JSON lines via ``--telemetry``).
+    """
+    from .obs import FileSink
+    from .serve import (
+        DegradationPolicy,
+        ModelRegistry,
+        ServableBundle,
+        ServeConfig,
+        ServingEngine,
+        SlidingWindowStore,
+        make_servable,
+        replay_split,
+    )
+
+    set_seed(args.seed)
+    data = _get_data(args)
+    if args.servable:
+        try:
+            bundle = ServableBundle.load(args.servable)
+        except CheckpointError as error:
+            raise SystemExit(str(error)) from None
+        name = bundle.spec.model
+    else:
+        name = _canonical_model(args.model)
+        if name in STATISTICAL:
+            raise SystemExit(
+                f"{name} is a statistical baseline; only neural models are servable"
+            )
+        model, _ = _build_model(name, data, args.hidden, args.layers)
+        if args.checkpoint:
+            load_checkpoint(args.checkpoint, model)
+        bundle = make_servable(
+            name, model, data, hidden=args.hidden, layers=args.layers,
+            extra={"dataset": args.dataset},
+        )
+    if args.save_servable:
+        path = bundle.save(args.save_servable)
+        print(f"servable bundle -> {path}")
+    registry = ModelRegistry()
+    version = registry.publish(bundle)
+    store = SlidingWindowStore.for_bundle(bundle)
+    sink = FileSink(args.telemetry) if args.telemetry else None
+    config = ServeConfig(
+        max_batch=args.max_batch,
+        max_wait_s=args.max_wait_ms / 1000.0,
+        policy=DegradationPolicy(outage_threshold=args.outage_threshold),
+    )
+    with ServingEngine(registry, store, config, sink=sink) as engine:
+        summary = replay_split(
+            engine, data,
+            steps=args.replay_steps,
+            requests_per_step=args.requests_per_step,
+            concurrency=args.concurrency,
+        )
+        engine.emit_telemetry()
+    telemetry = summary["telemetry"]
+    print(f"served {name} {version}: {summary['requests']} requests over "
+          f"{summary['steps']} observation ticks")
+    print(f"  sources:   model {summary['sources']['model']}, "
+          f"cache {summary['sources']['cache']}, "
+          f"fallback {summary['sources']['fallback']} {summary['fallback_reasons']}")
+    print(f"  batching:  {telemetry['batches']} batches, "
+          f"mean size {telemetry['mean_batch_size']:.2f}, "
+          f"max queue depth {telemetry['queue_depth_max']}")
+    print(f"  latency:   p50 {telemetry['latency_ms_p50']:.2f} ms, "
+          f"p95 {telemetry['latency_ms_p95']:.2f} ms, "
+          f"p99 {telemetry['latency_ms_p99']:.2f} ms")
+    print(f"  cache:     {telemetry['cache_hits']} hits / "
+          f"{telemetry['cache_misses']} misses "
+          f"(hit rate {telemetry['cache_hit_rate']:.2f})")
+    if sink is not None:
+        sink.close()
+        print(f"  telemetry -> {args.telemetry}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for the ``repro`` CLI."""
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
@@ -349,6 +434,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--steps", type=int, default=None)
     p.set_defaults(fn=cmd_evaluate)
 
+    p = sub.add_parser("serve", help="replay a stream through the online-inference stack")
+    p.add_argument("--dataset", default="metr-la-sim",
+                   help="preset name or a .npz written by `repro simulate`")
+    p.add_argument("--model", default="D2STGNN",
+                   help="model name (case-insensitive); statistical baselines are rejected")
+    p.add_argument("--checkpoint", default=None,
+                   help="trained checkpoint to serve (default: untrained weights)")
+    p.add_argument("--servable", default=None,
+                   help="serve an existing bundle instead of packaging one")
+    p.add_argument("--save-servable", default=None,
+                   help="also write the packaged bundle to this .npz path")
+    p.add_argument("--replay-steps", type=int, default=32,
+                   help="observation ticks to replay from the series tail")
+    p.add_argument("--requests-per-step", type=int, default=4)
+    p.add_argument("--concurrency", type=int, default=4)
+    p.add_argument("--max-batch", type=int, default=16)
+    p.add_argument("--max-wait-ms", type=float, default=2.0,
+                   help="micro-batcher coalescing window in milliseconds")
+    p.add_argument("--outage-threshold", type=float, default=0.5,
+                   help="window outage fraction above which requests degrade")
+    p.add_argument("--telemetry", default=None,
+                   help="write the serving summary record to this JSON-lines file")
+    p.add_argument("--hidden", type=int, default=16)
+    p.add_argument("--layers", type=int, default=2)
+    p.add_argument("--nodes", type=int, default=None)
+    p.add_argument("--steps", type=int, default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_serve)
+
     p = sub.add_parser("profile", help="profile op-level hotspots of training steps")
     p.add_argument("--dataset", default="metr-la-sim",
                    help="preset name or a .npz written by `repro simulate`")
@@ -372,7 +486,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "with --train-step)")
     p.set_defaults(fn=cmd_profile)
 
-    p = sub.add_parser("lint", help="run the repo-specific AST linter (rules R001-R007)")
+    p = sub.add_parser("lint", help="run the repo-specific AST linter (rules R001-R008)")
     p.add_argument("paths", nargs="*", default=list(DEFAULT_LINT_PATHS),
                    help="files or directories to lint (default: src examples benchmarks)")
     p.add_argument("--root", default=".", help="repository root the paths are relative to")

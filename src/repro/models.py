@@ -24,7 +24,10 @@ from .baselines import (
 )
 from .core import D2STGNN, D2STGNNConfig
 
-__all__ = ["MODEL_NAMES", "STATISTICAL", "NEURAL", "canonical_model", "build_model"]
+__all__ = [
+    "MODEL_NAMES", "STATISTICAL", "NEURAL",
+    "canonical_model", "build_model", "build_model_from_parts",
+]
 
 MODEL_NAMES = (
     "HA", "VAR", "SVR", "FC-LSTM", "DCRNN", "STGCN", "GraphWaveNet",
@@ -46,26 +49,36 @@ def canonical_model(name: str) -> str:
         raise KeyError(f"unknown model {name!r}; choose from {MODEL_NAMES}") from None
 
 
-def build_model(name: str, data, hidden: int = 16, layers: int = 2):
-    """Construct the named model against a ``ForecastingData`` bundle.
+def build_model_from_parts(
+    name: str,
+    *,
+    num_nodes: int,
+    steps_per_day: int,
+    adjacency,
+    hidden: int = 16,
+    layers: int = 2,
+):
+    """Construct the named model from its raw ingredients.
 
-    Returns ``(model, config)`` where ``config`` is what the checkpoint
-    format stores (a :class:`~repro.core.D2STGNNConfig` for D2STGNN, a plain
-    dict for the baselines).  Raises ``KeyError`` for unknown names.
+    The lower-level companion of :func:`build_model`: everything a model
+    constructor actually consumes — node count, daily period, the adjacency
+    matrix and the width/depth knobs — passed explicitly, so callers that
+    hold no :class:`~repro.data.ForecastingData` (a serving process
+    rebuilding a model from a :class:`~repro.serve.ServableBundle`, for
+    example) can still instantiate any registry entry.  Returns
+    ``(model, config)`` exactly like :func:`build_model`.
     """
     name = canonical_model(name)
-    dataset = data.dataset
-    adjacency = data.adjacency
     config_extra = {"hidden_dim": hidden, "num_layers": layers}
     if name == "D2STGNN":
         config = D2STGNNConfig(
-            num_nodes=dataset.num_nodes, steps_per_day=dataset.steps_per_day,
+            num_nodes=num_nodes, steps_per_day=steps_per_day,
             hidden_dim=hidden, embed_dim=max(4, hidden // 2),
             num_layers=layers, num_heads=2,
         )
         return D2STGNN(config, adjacency), config
     builders = {
-        "HA": lambda: HistoricalAverage(dataset.steps_per_day),
+        "HA": lambda: HistoricalAverage(steps_per_day),
         "VAR": lambda: VAR(lags=3),
         "SVR": lambda: SVR(epochs=30),
         "FC-LSTM": lambda: FCLSTM(hidden_dim=hidden),
@@ -74,8 +87,25 @@ def build_model(name: str, data, hidden: int = 16, layers: int = 2):
         "GraphWaveNet": lambda: GraphWaveNet(adjacency, hidden_dim=hidden),
         "ASTGCN": lambda: ASTGCN(adjacency, hidden_dim=hidden),
         "STSGCN": lambda: STSGCN(adjacency, hidden_dim=hidden),
-        "GMAN": lambda: GMAN(dataset.num_nodes, dataset.steps_per_day, hidden_dim=hidden, num_heads=2),
-        "MTGNN": lambda: MTGNN(dataset.num_nodes, hidden_dim=hidden),
+        "GMAN": lambda: GMAN(num_nodes, steps_per_day, hidden_dim=hidden, num_heads=2),
+        "MTGNN": lambda: MTGNN(num_nodes, hidden_dim=hidden),
         "DGCRN": lambda: DGCRN(adjacency, hidden_dim=hidden),
     }
     return builders[name](), config_extra
+
+
+def build_model(name: str, data, hidden: int = 16, layers: int = 2):
+    """Construct the named model against a ``ForecastingData`` bundle.
+
+    Returns ``(model, config)`` where ``config`` is what the checkpoint
+    format stores (a :class:`~repro.core.D2STGNNConfig` for D2STGNN, a plain
+    dict for the baselines).  Raises ``KeyError`` for unknown names.
+    """
+    return build_model_from_parts(
+        name,
+        num_nodes=data.dataset.num_nodes,
+        steps_per_day=data.dataset.steps_per_day,
+        adjacency=data.adjacency,
+        hidden=hidden,
+        layers=layers,
+    )

@@ -8,11 +8,12 @@ reproduces.
 
 from __future__ import annotations
 
+import contextlib
 from typing import Iterator
 
 import numpy as np
 
-from ..tensor import Tensor
+from ..tensor import Tensor, inference_mode
 
 __all__ = ["Parameter", "Module"]
 
@@ -134,6 +135,25 @@ class Module:
     def eval(self) -> "Module":
         """Put this module (and submodules) in evaluation mode."""
         return self.train(False)
+
+    @contextlib.contextmanager
+    def inference(self):
+        """Serving context: eval mode plus the engine's inference mode.
+
+        Switches the whole module tree to evaluation mode (dropout becomes
+        the identity) and enters :func:`repro.tensor.inference_mode` (no
+        graph recording, backward tape paused) for the duration.  On exit,
+        every submodule's previous ``training`` flag is restored exactly —
+        a trainer that evaluates mid-run returns to its prior mode mix.
+        """
+        previous = [(module, module.training) for module in self.modules()]
+        self.train(False)
+        try:
+            with inference_mode():
+                yield self
+        finally:
+            for module, mode in previous:
+                object.__setattr__(module, "training", mode)
 
     def zero_grad(self) -> None:
         """Clear gradients of all parameters."""

@@ -32,6 +32,7 @@ from .telemetry import (
     recovery_record,
     resume_record,
     sanitizer_record,
+    serving_record,
     train_end_record,
 )
 
@@ -54,6 +55,7 @@ __all__ = [
     "memory_high_water_mark_bytes",
     "read_jsonl",
     "sanitizer_record",
+    "serving_record",
     "time_train_steps",
     "train_end_record",
 ]

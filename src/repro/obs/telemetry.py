@@ -6,8 +6,8 @@ module owns the record layout so the schema lives in exactly one place; it
 is documented for consumers in ``docs/observability.md``.
 
 Every record carries ``schema`` (:data:`TELEMETRY_SCHEMA`) and ``event``
-(``"epoch"``, ``"train_end"``, ``"sanitizer"``, ``"recovery"`` or
-``"resume"``) keys.
+(``"epoch"``, ``"train_end"``, ``"sanitizer"``, ``"recovery"``,
+``"resume"`` or ``"serving"``) keys.
 """
 
 from __future__ import annotations
@@ -21,6 +21,7 @@ __all__ = [
     "recovery_record",
     "resume_record",
     "sanitizer_record",
+    "serving_record",
     "train_end_record",
     "memory_high_water_mark_bytes",
 ]
@@ -138,6 +139,55 @@ def resume_record(*, epoch: int, global_step: int, path: str) -> dict:
         "epoch": epoch,
         "global_step": global_step,
         "path": path,
+    }
+
+
+def serving_record(
+    *,
+    requests: int,
+    batches: int,
+    mean_batch_size: float,
+    latency_ms_p50: float,
+    latency_ms_p95: float,
+    latency_ms_p99: float,
+    queue_depth_max: int,
+    cache_hits: int,
+    cache_misses: int,
+    cache_hit_rate: float,
+    fallbacks: int,
+    fallback_reasons: dict,
+    served_by_model: int,
+    served_by_cache: int,
+    active_version: str | None,
+) -> dict:
+    """Build the serving-telemetry summary record.
+
+    Emitted by :meth:`repro.serve.ServingEngine.emit_telemetry`: one record
+    summarising everything since engine start — request/batch counts, the
+    micro-batcher's coalescing quality (``mean_batch_size``,
+    ``queue_depth_max``), end-to-end latency percentiles in milliseconds,
+    prediction-cache effectiveness, and how often (and why) the engine fell
+    back to the historical-average degradation path.
+    """
+    return {
+        "schema": TELEMETRY_SCHEMA,
+        "event": "serving",
+        "requests": requests,
+        "batches": batches,
+        "mean_batch_size": mean_batch_size,
+        "latency_ms_p50": latency_ms_p50,
+        "latency_ms_p95": latency_ms_p95,
+        "latency_ms_p99": latency_ms_p99,
+        "queue_depth_max": queue_depth_max,
+        "cache_hits": cache_hits,
+        "cache_misses": cache_misses,
+        "cache_hit_rate": cache_hit_rate,
+        "fallbacks": fallbacks,
+        "fallback_reasons": dict(fallback_reasons),
+        "served_by_model": served_by_model,
+        "served_by_cache": served_by_cache,
+        "active_version": active_version,
+        "memory_peak_bytes": memory_high_water_mark_bytes(),
     }
 
 

@@ -1,0 +1,50 @@
+"""Online inference: serve trained forecasters against live observations.
+
+The serving stack (see ``docs/serving.md``), bottom to top:
+
+* :class:`ServableBundle` / :class:`ModelRegistry` — package a trained
+  model, its build recipe, scaler statistics and a fallback profile into a
+  single atomically-written file; publish versions and hot-swap the active
+  one between batches.
+* :class:`SlidingWindowStore` — ring-buffered ingestion of streaming
+  per-node observations, O(1) per append, neutralising zero-coded sensor
+  outages at ingest exactly as the training pipeline does.
+* :class:`MicroBatcher` — coalesces concurrent requests into one batched
+  forward under the tensor engine's inference mode; the only place in this
+  package allowed to invoke a model (lint rule R008).
+* :class:`PredictionCache` — LRU over (version, window signature, horizon);
+  a hot-swap or a new observation makes stale entries unreachable.
+* :class:`ServingEngine` — the front door: cold-start/outage/anomaly/error
+  degradation to the historical-average profile
+  (:class:`DegradationPolicy`), plus serving telemetry through
+  :func:`repro.obs.serving_record`.
+
+Entry points: ``repro serve`` on the command line, :func:`replay_split`
+for trace-driven drives, ``benchmarks/bench_serve.py`` for the tracked
+``BENCH_serve.json`` throughput gate.
+"""
+
+from .cache import PredictionCache
+from .degrade import DegradationPolicy, fallback_forecast
+from .engine import ForecastResult, ServeConfig, ServingEngine
+from .microbatch import ForecastRequest, MicroBatcher
+from .registry import ModelRegistry, ServableBundle, ServableSpec, make_servable
+from .replay import replay_split
+from .window_store import SlidingWindowStore
+
+__all__ = [
+    "DegradationPolicy",
+    "ForecastRequest",
+    "ForecastResult",
+    "MicroBatcher",
+    "ModelRegistry",
+    "PredictionCache",
+    "ServableBundle",
+    "ServableSpec",
+    "ServeConfig",
+    "ServingEngine",
+    "SlidingWindowStore",
+    "fallback_forecast",
+    "make_servable",
+    "replay_split",
+]

@@ -1,0 +1,92 @@
+"""LRU prediction cache keyed on (servable version, window signature, horizon).
+
+Traffic forecasts are a natural cache target: many consumers ask for the
+same node-set's forecast between two observation ticks, and the model input
+only changes when a new observation arrives.  The key therefore pins all
+three things a prediction depends on — which model served it, which window
+contents it saw (the store's monotone signature) and the requested horizon —
+so a stale entry can never be returned as fresh: a hot-swap changes the
+version component, a new observation changes the signature component.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+__all__ = ["PredictionCache"]
+
+
+class PredictionCache:
+    """Thread-safe LRU cache of forecast arrays.
+
+    Stores copies on both ``put`` and ``get`` so callers can never mutate a
+    cached prediction in place.  ``invalidate`` drops entries by servable
+    version (or everything); ``invalidate_stale`` drops entries for window
+    signatures older than the current one — the serving engine calls it on
+    every new observation.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._entries: OrderedDict[tuple, np.ndarray] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: tuple) -> np.ndarray | None:
+        with self._lock:
+            value = self._entries.get(key)
+            if value is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value.copy()
+
+    def put(self, key: tuple, value: np.ndarray) -> None:
+        with self._lock:
+            self._entries[key] = np.asarray(value).copy()
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def invalidate(self, version: str | None = None) -> int:
+        """Drop entries for one servable version (or all); returns the count."""
+        with self._lock:
+            if version is None:
+                dropped = len(self._entries)
+                self._entries.clear()
+                return dropped
+            stale = [key for key in self._entries if key[0] == version]
+            for key in stale:
+                del self._entries[key]
+            return len(stale)
+
+    def invalidate_stale(self, current_signature: int) -> int:
+        """Drop entries computed against an older window signature."""
+        with self._lock:
+            stale = [key for key in self._entries if key[1] != current_signature]
+            for key in stale:
+                del self._entries[key]
+            return len(stale)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict:
+        """``{"hits", "misses", "hit_rate", "size", "capacity"}``."""
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": self.hits / total if total else 0.0,
+                "size": len(self._entries),
+                "capacity": self.capacity,
+            }

@@ -1,0 +1,64 @@
+"""Graceful degradation: the serving engine's historical-average fallback.
+
+A serving process must answer even when the model cannot: before the window
+has filled (cold start), when too many sensors are dark (outage), or when
+the forward errors or produces NaNs (a corrupted hot-swap, a poisoned
+checkpoint).  The fallback is the paper's Historical Average baseline read
+off the profile stored in every servable bundle — a pure array lookup, no
+model forward (lint rule R008 holds even here), always finite, always fast.
+
+:func:`fallback_forecast` replicates
+:meth:`repro.baselines.HistoricalAverage.forward`'s time arithmetic —
+time-of-day rollover into the next day, weekday/weekend profile selection —
+but stays in raw units end to end, since the degradation path bypasses the
+scaler entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DegradationPolicy", "fallback_forecast"]
+
+
+@dataclass(frozen=True)
+class DegradationPolicy:
+    """When the serving engine falls back instead of raising.
+
+    ``outage_threshold`` is the window's maximum tolerable fraction of
+    null-coded entries before the model's input is considered too corrupted
+    to trust.  ``fallback_on_error`` / ``fallback_on_nan`` control whether
+    forward exceptions and non-finite outputs degrade (the default) or
+    propagate to the caller (strict mode, for debugging).
+    """
+
+    outage_threshold: float = 0.5
+    fallback_on_error: bool = True
+    fallback_on_nan: bool = True
+
+
+def fallback_forecast(
+    profile: np.ndarray,
+    last_tod: int,
+    last_dow: int,
+    horizon: int,
+    steps_per_day: int,
+) -> np.ndarray:
+    """Historical-average forecast in raw units: ``(horizon, num_nodes)``.
+
+    ``profile`` is the bundle's ``(2, steps_per_day, num_nodes)`` seasonal
+    profile (weekday row 0, weekend row 1); ``last_tod``/``last_dow`` stamp
+    the most recent observation, and the forecast covers the ``horizon``
+    steps after it, rolling time-of-day over into the next day exactly as
+    the Historical Average baseline does.
+    """
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    steps = np.arange(1, horizon + 1)
+    future_tod = (int(last_tod) + steps) % steps_per_day
+    rollover = (int(last_tod) + steps) // steps_per_day
+    future_dow = (int(last_dow) + rollover) % 7
+    weekend = (future_dow >= 5).astype(int)
+    return np.asarray(profile, dtype=np.float32)[weekend, future_tod]

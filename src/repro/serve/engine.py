@@ -1,0 +1,233 @@
+"""The serving engine: ingestion, caching, batching and degradation in one.
+
+:class:`ServingEngine` is the front door of :mod:`repro.serve`.  One
+``forecast`` call walks the full serving decision ladder:
+
+1. **cold start** — window not yet full → historical-average fallback;
+2. **outage** — too many null-coded sensors in the window
+   (``DegradationPolicy.outage_threshold``) → fallback;
+3. **cache** — a prediction for exactly this (servable version, window
+   signature, horizon) already exists → serve it, no forward;
+4. **model** — submit to the :class:`~repro.serve.MicroBatcher`, which
+   coalesces concurrent requests into one batched forward under the tensor
+   engine's inference mode;
+5. **degraded model** — the forward raised or returned non-finite values →
+   fallback (or re-raise, per policy).
+
+Every answer is a :class:`ForecastResult` in raw units, stamped with its
+source, servable version and end-to-end latency; :meth:`emit_telemetry`
+summarises the run through :func:`repro.obs.serving_record` into any
+:class:`~repro.obs.MetricsSink`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..check.sanitizers import AnomalyError
+from ..obs.telemetry import serving_record
+from ..utils.timer import now
+from .cache import PredictionCache
+from .degrade import DegradationPolicy, fallback_forecast
+from .microbatch import ForecastRequest, MicroBatcher
+from .registry import ModelRegistry
+from .window_store import SlidingWindowStore
+
+__all__ = ["ServeConfig", "ForecastResult", "ServingEngine"]
+
+
+@dataclass
+class ServeConfig:
+    """Engine knobs; defaults match the serve benchmark's tiny profile."""
+
+    horizon: int | None = None  # None: the bundle's trained horizon
+    max_batch: int = 16
+    max_wait_s: float = 0.002
+    request_timeout_s: float = 30.0
+    cache_capacity: int = 256
+    anomaly_check: bool = True
+    policy: DegradationPolicy = field(default_factory=DegradationPolicy)
+
+
+@dataclass
+class ForecastResult:
+    """One answered request, in raw units.
+
+    ``values`` is ``(horizon, num_nodes)``; ``source`` is ``"model"``,
+    ``"cache"`` or ``"fallback"`` (with ``reason`` saying why it degraded:
+    ``"cold_start"``, ``"outage"``, ``"anomaly"`` or ``"error"``).
+    """
+
+    values: np.ndarray
+    source: str
+    version: str | None
+    reason: str | None
+    latency_s: float
+
+
+class ServingEngine:
+    """Online forecasts over a live observation stream.
+
+    ``registry`` supplies the active servable (hot-swappable between
+    batches); ``store`` holds the streaming window; ``sink`` (optional)
+    receives the telemetry summary from :meth:`emit_telemetry`.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        store: SlidingWindowStore,
+        config: ServeConfig | None = None,
+        sink=None,
+    ) -> None:
+        self.registry = registry
+        self.store = store
+        self.config = config or ServeConfig()
+        self.sink = sink
+        self.cache = PredictionCache(capacity=self.config.cache_capacity)
+        self.batcher = MicroBatcher(
+            registry.resolve,
+            max_batch=self.config.max_batch,
+            max_wait_s=self.config.max_wait_s,
+            anomaly_check=self.config.anomaly_check,
+        )
+        self._lock = threading.Lock()
+        self._latencies: list[float] = []
+        self._served_by_model = 0
+        self._served_by_cache = 0
+        self._fallback_reasons: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def observe(self, values: np.ndarray, tod: int, dow: int) -> int:
+        """Ingest one observation row and invalidate now-stale predictions."""
+        signature = self.store.append(values, tod, dow)
+        self.cache.invalidate_stale(signature)
+        return signature
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def forecast(self, horizon: int | None = None) -> ForecastResult:
+        """Answer one forecast request for the current window."""
+        start = now()
+        bundle = self.registry.active_bundle()
+        if horizon is None:
+            horizon = self.config.horizon or bundle.spec.horizon
+        if not 1 <= horizon <= bundle.spec.horizon:
+            raise ValueError(
+                f"horizon must be in [1, {bundle.spec.horizon}], got {horizon}"
+            )
+        if len(self.store) == 0:
+            raise RuntimeError("no observations ingested yet; call observe() first")
+        policy = self.config.policy
+        if not self.store.ready:
+            return self._fallback(bundle, horizon, "cold_start", start)
+        if self.store.outage_fraction() > policy.outage_threshold:
+            return self._fallback(bundle, horizon, "outage", start)
+
+        signature = self.store.signature()
+        key = (self.registry.active_version, signature, horizon)
+        cached = self.cache.get(key)
+        if cached is not None:
+            return self._finish(cached, "cache", key[0], None, start)
+
+        x, tod, dow = self.store.window()
+        try:
+            pending = self.batcher.submit(ForecastRequest(x, tod, dow))
+            scaled, version = pending.result(timeout=self.config.request_timeout_s)
+        except AnomalyError:
+            if policy.fallback_on_nan:
+                return self._fallback(bundle, horizon, "anomaly", start)
+            raise
+        except Exception:
+            if policy.fallback_on_error:
+                return self._fallback(bundle, horizon, "error", start)
+            raise
+        prediction = self.store.scaler.inverse_transform(scaled[0, :horizon, :, 0])
+        if not np.isfinite(prediction).all():
+            if policy.fallback_on_nan:
+                return self._fallback(bundle, horizon, "anomaly", start)
+            raise AnomalyError("servable produced non-finite forecast values")
+        self.cache.put((version, signature, horizon), prediction)
+        return self._finish(prediction, "model", version, None, start)
+
+    def _fallback(self, bundle, horizon: int, reason: str, start: float) -> ForecastResult:
+        last_tod, last_dow = self.store.last_time()
+        values = fallback_forecast(
+            bundle.fallback_profile, last_tod, last_dow, horizon, bundle.spec.steps_per_day
+        )
+        return self._finish(values, "fallback", self.registry.active_version, reason, start)
+
+    def _finish(
+        self, values: np.ndarray, source: str, version: str | None,
+        reason: str | None, start: float,
+    ) -> ForecastResult:
+        latency = now() - start
+        with self._lock:
+            self._latencies.append(latency)
+            if source == "model":
+                self._served_by_model += 1
+            elif source == "cache":
+                self._served_by_cache += 1
+            else:
+                self._fallback_reasons[reason] = self._fallback_reasons.get(reason, 0) + 1
+        return ForecastResult(
+            values=values, source=source, version=version, reason=reason, latency_s=latency
+        )
+
+    # ------------------------------------------------------------------
+    # Telemetry / lifecycle
+    # ------------------------------------------------------------------
+    def telemetry_report(self) -> dict:
+        """The serving summary record (see :func:`repro.obs.serving_record`)."""
+        batcher = self.batcher.stats()
+        cache = self.cache.stats()
+        with self._lock:
+            latencies_ms = np.asarray(self._latencies, dtype=np.float64) * 1000.0
+            fallback_reasons = dict(self._fallback_reasons)
+            served_by_model = self._served_by_model
+            served_by_cache = self._served_by_cache
+        percentile = (
+            (lambda q: float(np.percentile(latencies_ms, q)))
+            if latencies_ms.size
+            else (lambda q: 0.0)
+        )
+        return serving_record(
+            requests=int(latencies_ms.size),
+            batches=batcher["batches"],
+            mean_batch_size=batcher["mean_batch_size"],
+            latency_ms_p50=percentile(50),
+            latency_ms_p95=percentile(95),
+            latency_ms_p99=percentile(99),
+            queue_depth_max=batcher["queue_depth_max"],
+            cache_hits=cache["hits"],
+            cache_misses=cache["misses"],
+            cache_hit_rate=cache["hit_rate"],
+            fallbacks=sum(fallback_reasons.values()),
+            fallback_reasons=fallback_reasons,
+            served_by_model=served_by_model,
+            served_by_cache=served_by_cache,
+            active_version=self.registry.active_version,
+        )
+
+    def emit_telemetry(self) -> dict:
+        """Build the summary record and emit it to the sink (if any)."""
+        report = self.telemetry_report()
+        if self.sink is not None:
+            self.sink.emit(report)
+        return report
+
+    def close(self) -> None:
+        """Stop the micro-batcher's worker thread."""
+        self.batcher.stop()
+
+    def __enter__(self) -> "ServingEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,295 @@
+"""Servable bundles and the versioned in-process model registry.
+
+A **servable bundle** is everything one serving process needs to answer
+forecast requests for one trained model, in a single atomically-written
+``.npz`` file: the parameter state dict, the model's build recipe
+(:class:`ServableSpec`), the adjacency matrix, the train-fit scaler
+statistics, and a fitted historical-average profile for the graceful
+degradation path.  Unlike a bare training checkpoint, a bundle is
+self-contained — loading it requires no dataset and no training pipeline.
+
+The :class:`ModelRegistry` holds published bundles under monotonically
+numbered versions (``"v1"``, ``"v2"``, ...) and exposes exactly one as
+*active* at a time.  ``activate`` hot-swaps the serving model between two
+requests: the micro-batcher resolves the active version at the start of
+every batch, so in-flight batches finish on the version they started with.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..baselines import HistoricalAverage
+from ..data.scalers import StandardScaler
+from ..models import STATISTICAL, build_model_from_parts, canonical_model
+from ..utils.atomic import atomic_savez
+from ..utils.checkpoint import (
+    CheckpointError,
+    _encode_meta,
+    _open_archive,
+    _read_arrays,
+    _read_meta,
+)
+
+__all__ = ["ServableSpec", "ServableBundle", "make_servable", "ModelRegistry"]
+
+_META_KEY = "__checkpoint_meta__"
+_SERVABLE_FORMAT_VERSION = 1
+_PARAM_PREFIX = "param/"
+_ADJACENCY_KEY = "adjacency"
+_FALLBACK_KEY = "fallback_profile"
+
+
+@dataclass(frozen=True)
+class ServableSpec:
+    """The build recipe a serving process rebuilds its model from.
+
+    Everything :func:`repro.models.build_model_from_parts` consumes, plus
+    the window geometry and scaler statistics the serving pipeline needs to
+    accept raw observations and return raw-unit forecasts.
+    """
+
+    model: str
+    hidden: int
+    layers: int
+    history: int
+    horizon: int
+    steps_per_day: int
+    num_nodes: int
+    scaler_mean: float
+    scaler_std: float
+    null_value: float | None = 0.0
+    mask_nulls: bool = True
+
+
+@dataclass
+class ServableBundle:
+    """One servable model: spec + parameters + graph + fallback profile."""
+
+    spec: ServableSpec
+    state: dict[str, np.ndarray]
+    adjacency: np.ndarray
+    fallback_profile: np.ndarray  # (2, steps_per_day, N), raw units
+    extra: dict
+
+    def scaler(self) -> StandardScaler:
+        """Reconstruct the train-fit scaler from the stored statistics."""
+        scaler = StandardScaler(
+            null_value=self.spec.null_value, mask_nulls=self.spec.mask_nulls
+        )
+        scaler.mean = self.spec.scaler_mean
+        scaler.std = self.spec.scaler_std
+        return scaler
+
+    def instantiate(self):
+        """Build the model from the spec, load parameters, switch to eval.
+
+        Returns a ready-to-serve :class:`~repro.nn.Module`; raises
+        :class:`~repro.utils.checkpoint.CheckpointError` when the stored
+        state does not fit the freshly built architecture.
+        """
+        model, _ = build_model_from_parts(
+            self.spec.model,
+            num_nodes=self.spec.num_nodes,
+            steps_per_day=self.spec.steps_per_day,
+            adjacency=self.adjacency,
+            hidden=self.spec.hidden,
+            layers=self.spec.layers,
+        )
+        try:
+            model.load_state_dict(self.state)
+        except (KeyError, ValueError) as error:
+            raise CheckpointError(
+                f"servable state does not match a fresh {self.spec.model}: {error}"
+            ) from error
+        return model.eval()
+
+    def save(self, path: str | Path) -> Path:
+        """Atomically write the bundle to a single ``.npz`` archive."""
+        path = Path(path)
+        if path.suffix != ".npz":
+            path = path.with_suffix(".npz")
+        arrays: dict[str, np.ndarray] = {
+            f"{_PARAM_PREFIX}{name}": value for name, value in self.state.items()
+        }
+        arrays[_ADJACENCY_KEY] = np.asarray(self.adjacency, dtype=np.float32)
+        arrays[_FALLBACK_KEY] = np.asarray(self.fallback_profile, dtype=np.float32)
+        meta = {
+            "format_version": _SERVABLE_FORMAT_VERSION,
+            "kind": "servable",
+            "spec": dataclasses.asdict(self.spec),
+            "extra": self.extra,
+        }
+        arrays[_META_KEY] = _encode_meta(meta)
+        return atomic_savez(path, **arrays)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ServableBundle":
+        """Read a bundle; malformed files raise :class:`CheckpointError`."""
+        path = Path(path)
+        with _open_archive(path) as archive:
+            meta = _read_meta(path, archive)
+            if meta.get("kind") != "servable":
+                raise CheckpointError(
+                    f"{path} is a {meta.get('kind', 'model')!r} checkpoint, not a servable"
+                )
+            if meta.get("format_version") != _SERVABLE_FORMAT_VERSION:
+                raise CheckpointError(
+                    f"unsupported servable format {meta.get('format_version')!r}"
+                )
+            everything = _read_arrays(
+                path, archive, (k for k in archive.files if k != _META_KEY)
+            )
+        for key in (_ADJACENCY_KEY, _FALLBACK_KEY):
+            if key not in everything:
+                raise CheckpointError(f"{path} is missing the {key!r} array")
+        try:
+            spec = ServableSpec(**meta["spec"])
+        except (KeyError, TypeError) as error:
+            raise CheckpointError(f"{path} holds a malformed servable spec: {error}") from error
+        state = {
+            name[len(_PARAM_PREFIX):]: value
+            for name, value in everything.items()
+            if name.startswith(_PARAM_PREFIX)
+        }
+        return cls(
+            spec=spec,
+            state=state,
+            adjacency=everything[_ADJACENCY_KEY],
+            fallback_profile=everything[_FALLBACK_KEY],
+            extra=meta.get("extra", {}),
+        )
+
+
+def make_servable(
+    name: str,
+    model,
+    data,
+    *,
+    hidden: int = 16,
+    layers: int = 2,
+    extra: dict | None = None,
+) -> ServableBundle:
+    """Package a trained neural model + its data pipeline into a bundle.
+
+    ``hidden``/``layers`` must match the values the model was built with —
+    they are what :meth:`ServableBundle.instantiate` rebuilds from.  The
+    degradation profile is a :class:`~repro.baselines.HistoricalAverage`
+    fit on ``data``'s training portion, stored in raw units.  Statistical
+    baselines are rejected: they have no parameter state dict to bundle
+    (serve them directly, they need no serving stack).
+    """
+    name = canonical_model(name)
+    if name in STATISTICAL:
+        raise ValueError(
+            f"{name} is a statistical baseline with no state dict; "
+            "only neural models can be packaged as servables"
+        )
+    scaler = data.scaler
+    fallback = HistoricalAverage(data.dataset.steps_per_day).fit(data)
+    spec = ServableSpec(
+        model=name,
+        hidden=hidden,
+        layers=layers,
+        history=data.windows.history,
+        horizon=data.windows.horizon,
+        steps_per_day=data.dataset.steps_per_day,
+        num_nodes=data.dataset.num_nodes,
+        scaler_mean=scaler.mean,
+        scaler_std=scaler.std,
+        null_value=scaler.null_value,
+        mask_nulls=scaler.mask_nulls,
+    )
+    return ServableBundle(
+        spec=spec,
+        state=model.state_dict(),
+        adjacency=np.asarray(data.adjacency, dtype=np.float32),
+        fallback_profile=fallback._profile.copy(),
+        extra=extra or {},
+    )
+
+
+class ModelRegistry:
+    """Versioned store of servable bundles with one active serving version.
+
+    Thread-safe: ``publish`` / ``activate`` may run concurrently with
+    ``resolve`` calls from the micro-batcher.  Models are instantiated
+    lazily on first :meth:`resolve` of their version and cached, so a
+    hot-swap back to a previous version is instant.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._bundles: dict[str, ServableBundle] = {}
+        self._instances: dict[str, object] = {}
+        self._order: list[str] = []
+        self._active: str | None = None
+        self._counter = 0
+
+    def publish(
+        self, bundle: ServableBundle, version: str | None = None, activate: bool = True
+    ) -> str:
+        """Register a bundle under a new version; optionally make it active."""
+        with self._lock:
+            if version is None:
+                self._counter += 1
+                version = f"v{self._counter}"
+            if version in self._bundles:
+                raise ValueError(f"version {version!r} is already published")
+            self._bundles[version] = bundle
+            self._order.append(version)
+            if activate:
+                self._active = version
+            return version
+
+    def publish_path(
+        self, path: str | Path, version: str | None = None, activate: bool = True
+    ) -> str:
+        """Load a bundle file and publish it."""
+        return self.publish(ServableBundle.load(path), version=version, activate=activate)
+
+    def activate(self, version: str) -> None:
+        """Hot-swap the active serving version."""
+        with self._lock:
+            if version not in self._bundles:
+                raise KeyError(f"unknown version {version!r}; published: {self._order}")
+            self._active = version
+
+    @property
+    def active_version(self) -> str | None:
+        with self._lock:
+            return self._active
+
+    def versions(self) -> tuple[str, ...]:
+        """Published versions, in publish order."""
+        with self._lock:
+            return tuple(self._order)
+
+    def active_bundle(self) -> ServableBundle:
+        with self._lock:
+            if self._active is None:
+                raise RuntimeError("registry has no active servable version")
+            return self._bundles[self._active]
+
+    def resolve(self):
+        """Return ``(version, model, bundle)`` for the active version.
+
+        The micro-batcher calls this once per batch, so an ``activate``
+        between batches takes effect on the next batch without restarting
+        anything.
+        """
+        with self._lock:
+            if self._active is None:
+                raise RuntimeError("registry has no active servable version")
+            version = self._active
+            bundle = self._bundles[version]
+            instance = self._instances.get(version)
+            if instance is None:
+                instance = bundle.instantiate()
+                self._instances[version] = instance
+            return version, instance, bundle

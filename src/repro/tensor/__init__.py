@@ -6,7 +6,9 @@ from .tensor import (
     backward_tape_stats,
     configure_fast_backward,
     fast_backward_config,
+    inference_mode,
     is_grad_enabled,
+    is_inference_mode,
     no_grad,
     reference_backward,
 )
@@ -21,7 +23,9 @@ __all__ = [
     "fast_backward_config",
     "functional",
     "gradcheck",
+    "inference_mode",
     "is_grad_enabled",
+    "is_inference_mode",
     "no_grad",
     "numerical_gradient",
     "reference_backward",

@@ -40,7 +40,9 @@ import numpy as np
 __all__ = [
     "Tensor",
     "no_grad",
+    "inference_mode",
     "is_grad_enabled",
+    "is_inference_mode",
     "DEFAULT_DTYPE",
     "configure_fast_backward",
     "fast_backward_config",
@@ -238,6 +240,36 @@ def no_grad():
 def is_grad_enabled() -> bool:
     """Return whether operations currently record the backward graph."""
     return _GRAD_ENABLED
+
+
+_INFERENCE_MODE = False
+
+
+@contextlib.contextmanager
+def inference_mode():
+    """Context manager for serving-path forwards (like ``torch.inference_mode``).
+
+    Strictly stronger than :func:`no_grad`: graph recording is disabled *and*
+    the backward tape is paused, so an inference forward can never record
+    closures, grow the tape, or perturb the rolling structural signature that
+    training-step replay keys on — even if a caller forgot ``requires_grad``
+    hygiene.  The previously recorded tape (a training step awaiting
+    backward, for example) survives untouched and resumes on exit.
+    """
+    global _GRAD_ENABLED, _INFERENCE_MODE
+    previous = (_GRAD_ENABLED, _INFERENCE_MODE, _TAPE.enabled)
+    _GRAD_ENABLED = False
+    _INFERENCE_MODE = True
+    _TAPE.enabled = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED, _INFERENCE_MODE, _TAPE.enabled = previous
+
+
+def is_inference_mode() -> bool:
+    """Return whether an :func:`inference_mode` context is currently active."""
+    return _INFERENCE_MODE
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:

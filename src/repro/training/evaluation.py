@@ -9,7 +9,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..data.datasets import ForecastingData
-from ..tensor import no_grad
+from ..tensor import inference_mode
 from .metrics import HORIZONS, compute_all
 
 __all__ = [
@@ -86,7 +86,7 @@ def predict_split(
     if hasattr(model, "eval"):
         model.eval()
     predictions, targets = [], []
-    with no_grad():
+    with inference_mode():
         for batch in data.loader(split, batch_size=batch_size, shuffle=False):
             out = model(batch.x, batch.tod, batch.dow)
             predictions.append(data.scaler.inverse_transform(out.numpy()))
@@ -118,7 +118,7 @@ def evaluate_split(
     accumulators = {str(h): HorizonAccumulator(null_value) for h in horizons}
     accumulators["avg"] = HorizonAccumulator(null_value)
     predictions, targets = [], []
-    with no_grad():
+    with inference_mode():
         for batch in data.loader(split, batch_size=batch_size, shuffle=False):
             out = model(batch.x, batch.tod, batch.dow)
             prediction = data.scaler.inverse_transform(out.numpy())

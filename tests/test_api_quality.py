@@ -27,6 +27,7 @@ PACKAGES = [
     "repro.obs",
     "repro.check",
     "repro.faults",
+    "repro.serve",
 ]
 
 

@@ -43,9 +43,10 @@ class TestGoldenFixture:
 
     def test_every_rule_fires_at_least_once(self):
         rules = {f.rule for f in lint_file(FIXTURE)}
-        # R007 is scoped to the data/training packages, so it cannot fire on
-        # the fixture's path; TestPerSampleLoops covers it in place.
-        assert rules == set(LINT_RULES) - {"R007"}
+        # R007 is scoped to the data/training packages and R008 to the serve
+        # package, so neither can fire on the fixture's path;
+        # TestPerSampleLoops and TestServeForwards cover them in place.
+        assert rules == set(LINT_RULES) - {"R007", "R008"}
 
     def test_suppressed_lines_do_not_appear(self):
         lines = {f.line for f in lint_file(FIXTURE)}
@@ -159,6 +160,52 @@ class TestPerSampleLoops:
         assert self._lint(tmp_path, "src/repro/data/windows.py", body) == []
 
 
+class TestServeForwards:
+    """R008: model forwards in repro.serve only inside the micro-batcher."""
+
+    def _lint(self, tmp_path: Path, rel: str, body: str):
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(body)
+        return [f.rule for f in lint_file(path, relative_to=tmp_path)]
+
+    def test_direct_model_call_flagged_in_serve(self, tmp_path):
+        body = "def answer(model, x, tod, dow):\n    return model(x, tod, dow)\n"
+        assert self._lint(tmp_path, "src/repro/serve/engine.py", body) == ["R008"]
+
+    def test_attribute_model_call_flagged(self, tmp_path):
+        body = "def answer(self, x, tod, dow):\n    return self.model(x, tod, dow)\n"
+        assert self._lint(tmp_path, "src/repro/serve/registry.py", body) == ["R008"]
+
+    def test_explicit_forward_call_flagged(self, tmp_path):
+        body = "def answer(net, x, tod, dow):\n    return net.forward(x, tod, dow)\n"
+        assert self._lint(tmp_path, "src/repro/serve/cache.py", body) == ["R008"]
+
+    def test_microbatcher_is_allowlisted(self, tmp_path):
+        body = "def run_batch(model, x, tod, dow):\n    return model(x, tod, dow)\n"
+        assert self._lint(tmp_path, "src/repro/serve/microbatch.py", body) == []
+
+    def test_outside_serve_is_exempt(self, tmp_path):
+        body = "def answer(model, x, tod, dow):\n    return model(x, tod, dow)\n"
+        assert self._lint(tmp_path, "src/repro/training/loop.py", body) == []
+
+    def test_non_forward_calls_pass_in_serve(self, tmp_path):
+        body = (
+            "def publish(bundle, registry):\n"
+            "    instance = bundle.instantiate()\n"
+            "    registry.activate('v1')\n"
+            "    return instance.state_dict()\n"
+        )
+        assert self._lint(tmp_path, "src/repro/serve/registry.py", body) == []
+
+    def test_suppression_is_honoured(self, tmp_path):
+        body = (
+            "def probe(model, x, tod, dow):\n"
+            "    return model(x, tod, dow)  # lint: disable=R008\n"
+        )
+        assert self._lint(tmp_path, "src/repro/serve/debug.py", body) == []
+
+
 class TestLintPaths:
     def test_repo_head_is_clean(self):
         findings = lint_paths(root=REPO_ROOT)
@@ -179,7 +226,7 @@ class TestLintPaths:
 class TestRuleTable:
     def test_rules_are_documented(self):
         assert set(LINT_RULES) == {
-            "R001", "R002", "R003", "R004", "R005", "R006", "R007",
+            "R001", "R002", "R003", "R004", "R005", "R006", "R007", "R008",
         }
         for rule, description in LINT_RULES.items():
             assert description, rule

@@ -39,6 +39,39 @@ class TestModes:
         model.train()
         assert all(m.training for m in model.modules())
 
+    def test_modes_propagate_through_nested_containers(self):
+        model = nn.Sequential(
+            nn.Linear(2, 2),
+            nn.Sequential(nn.Dropout(0.5), nn.ModuleList([nn.Dropout(0.3)])),
+        )
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_dropout_is_identity_in_eval(self):
+        from repro.tensor import Tensor
+
+        dropout = nn.Dropout(0.5)
+        x = Tensor(np.arange(1000, dtype=np.float32).reshape(10, 100))
+        dropped = dropout(x)
+        assert not np.array_equal(dropped.numpy(), x.numpy())  # active in train
+        dropout.eval()
+        np.testing.assert_array_equal(dropout(x).numpy(), x.numpy())
+
+    def test_inference_context_restores_mode_mix(self):
+        from repro.tensor import is_grad_enabled, is_inference_mode
+
+        model = nn.Sequential(nn.Dropout(0.5), nn.Linear(2, 2))
+        model.train()
+        model._modules["1"].train(False)  # a mixed mode tree
+        before = [m.training for m in model.modules()]
+        with model.inference():
+            assert all(not m.training for m in model.modules())
+            assert not is_grad_enabled() and is_inference_mode()
+        assert [m.training for m in model.modules()] == before
+        assert is_grad_enabled() and not is_inference_mode()
+
     def test_zero_grad_clears_all(self):
         layer = nn.Linear(2, 2)
         from repro.tensor import Tensor
