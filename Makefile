@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test test-faults bench bench-smoke bench-full serve-smoke experiments examples clean docs-check profile lint check ci
+.PHONY: install test test-faults bench bench-smoke bench-full serve-smoke serve-scale-smoke experiments examples clean docs-check profile lint check ci
 
 install:
 	pip install -e .
@@ -20,7 +20,7 @@ lint:
 check:
 	python -m repro check
 
-ci: lint docs-check test-faults test bench-smoke serve-smoke
+ci: lint docs-check test-faults test bench-smoke serve-smoke serve-scale-smoke
 
 profile:
 	python -m repro profile --dataset metr-la-sim --model d2stgnn --out BENCH_profile.json
@@ -41,6 +41,13 @@ bench-smoke:
 # least 3x faster than) sequential single-request forwards.
 serve-smoke:
 	REPRO_BENCH_PROFILE=tiny pytest benchmarks/bench_serve.py --benchmark-only -q
+
+# Sharded serving gate at the tiny scale: a K=2 loopback run asserting that
+# K=1 sharded serving stays bit-identical to the plain engine and that
+# scaling is alive; the strict throughput ratios are gated at the bench/full
+# profiles, which also write the tracked BENCH_serve_scale.json.
+serve-scale-smoke:
+	REPRO_BENCH_PROFILE=tiny pytest benchmarks/bench_serve_scale.py --benchmark-only -q
 
 bench-output:
 	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt

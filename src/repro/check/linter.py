@@ -1,6 +1,6 @@
 """AST linter with repo-specific rules the generic tools cannot express.
 
-Eight rules (R001–R008), each encoding an invariant this codebase relies on
+Nine rules (R001–R009), each encoding an invariant this codebase relies on
 for reproducibility or correctness — see ``docs/static-analysis.md`` for the
 full rationale table:
 
@@ -34,6 +34,12 @@ R008      no model forwards inside :mod:`repro.serve` outside the
           micro-batcher — every serving-path forward must flow through
           ``microbatch.py`` so requests coalesce into one batched pass
           and the throughput gate in ``BENCH_serve.json`` stays honest
+R009      no model forwards in the sharded serving modules (router,
+          transport, shard, loadgen) — requests must cross the
+          engine/transport seam as ops and forwards stay inside each
+          worker's micro-batcher; also catches invoking a freshly
+          ``instantiate()``-d model directly, which R008's name
+          heuristic cannot see
 ========  ==============================================================
 
 Suppression: append ``# lint: disable`` (all rules) or
@@ -71,6 +77,7 @@ LINT_RULES = {
     "R006": "persist state via repro.utils.atomic, not raw np.savez/open-for-write",
     "R007": "no per-sample Python loops over batch indices; use one vectorized gather",
     "R008": "no model forwards in repro.serve outside the micro-batcher",
+    "R009": "no model forwards in the sharded serving modules; cross the transport as ops",
 }
 
 # Paths (posix, repo-relative prefixes) where a rule legitimately does not
@@ -113,6 +120,18 @@ _BATCH_INDEX_NAMES = frozenset({"indices", "idx", "idxs", "batch_indices", "samp
 _SERVE_PATHS = ("src/repro/serve/",)
 _SERVE_FORWARD_ALLOWED = ("src/repro/serve/microbatch.py",)
 _SERVE_MODEL_NAMES = frozenset({"model", "servable"})
+
+# R009: the sharded serving modules sit on the caller side of the
+# engine/transport seam and must never run a forward themselves — not even
+# one R008's name heuristic misses, like calling an ``instantiate()`` result
+# in place.  Reported instead of (not alongside) R008 in these files.
+_SCALE_PATHS = (
+    "src/repro/serve/router.py",
+    "src/repro/serve/transport.py",
+    "src/repro/serve/shard.py",
+    "src/repro/serve/loadgen.py",
+)
+_INSTANTIATE_NAMES = frozenset({"instantiate", "instantiate_fresh"})
 
 _SUPPRESS_RE = re.compile(r"#\s*lint:\s*disable(?:=(?P<rules>[\w,\s]+))?")
 
@@ -212,6 +231,7 @@ class _Visitor(ast.NodeVisitor):
         self._serve_forward_scoped = any(
             path.startswith(p) for p in _SERVE_PATHS
         ) and not any(path.startswith(p) for p in _SERVE_FORWARD_ALLOWED)
+        self._scale_scoped = path in _SCALE_PATHS
 
     def _report(self, node: ast.AST, rule: str, message: str) -> None:
         self.findings.append(Finding(self.path, node.lineno, rule, message))
@@ -266,12 +286,29 @@ class _Visitor(ast.NodeVisitor):
                 f"np.{node.func.attr} is not crash-safe; "
                 "use repro.utils.atomic.atomic_savez",
             )
-        # R008: model forwards inside repro.serve outside the micro-batcher.
+        # R008/R009: model forwards inside repro.serve outside the
+        # micro-batcher.  The sharded serving modules get the stricter,
+        # more specific R009 instead of R008.
         if self._serve_forward_scoped and self._is_model_forward(node):
+            if self._scale_scoped:
+                self._report(
+                    node, "R009",
+                    "model forward on the caller side of the transport seam; "
+                    "send a forecast op to the worker instead",
+                )
+            else:
+                self._report(
+                    node, "R008",
+                    "model forward outside the micro-batcher; "
+                    "submit requests through repro.serve.MicroBatcher",
+                )
+        # R009: invoking a freshly instantiated model in place —
+        # bundle.instantiate()(x) — which the name heuristic cannot see.
+        if self._scale_scoped and self._is_instantiate_forward(node):
             self._report(
-                node, "R008",
-                "model forward outside the micro-batcher; "
-                "submit requests through repro.serve.MicroBatcher",
+                node, "R009",
+                "calling an instantiate() result runs a forward here; "
+                "forwards belong inside the worker's micro-batcher",
             )
         # R006: truncating open() inside the state-persisting modules.
         if (
@@ -301,6 +338,16 @@ class _Visitor(ast.NodeVisitor):
         if isinstance(func, ast.Attribute):
             return func.attr in _SERVE_MODEL_NAMES or func.attr == "forward"
         return False
+
+    @staticmethod
+    def _is_instantiate_forward(node: ast.Call) -> bool:
+        """True for ``bundle.instantiate(...)(x)``-shaped calls (R009)."""
+        func = node.func
+        return (
+            isinstance(func, ast.Call)
+            and isinstance(func.func, ast.Attribute)
+            and func.func.attr in _INSTANTIATE_NAMES
+        )
 
     @staticmethod
     def _opens_for_write(node: ast.Call) -> bool:

@@ -7,7 +7,7 @@
     python -m repro evaluate --checkpoint model.npz --dataset metr-la-sim
     python -m repro serve --dataset metr-la-sim --model STGCN --replay-steps 32
     python -m repro profile --dataset metr-la-sim --model d2stgnn
-    python -m repro lint                      # repo-specific AST lint (R001-R008)
+    python -m repro lint                      # repo-specific AST lint (R001-R009)
     python -m repro check --dataset metr-la-sim   # model zoo static analysis
 
 Everything the CLI does is a thin layer over the public API; see
@@ -247,7 +247,7 @@ def cmd_profile(args) -> int:
 def cmd_lint(args) -> int:
     """``repro lint``: run the repo-specific AST linter.
 
-    Lints every python file under the given paths with the R001-R008 rules
+    Lints every python file under the given paths with the R001-R009 rules
     (see ``docs/static-analysis.md``); exits 1 when any finding survives
     suppression comments, so CI can gate on it.
     """
@@ -313,6 +313,13 @@ def cmd_serve(args) -> int:
     streaming ingestion, micro-batched forwards, prediction caching and
     historical-average degradation, with the telemetry summary printed (and
     optionally written as JSON lines via ``--telemetry``).
+
+    ``--workers K`` (K > 1) serves through the sharded stack instead
+    (:class:`~repro.serve.ShardedServingEngine`): the graph is partitioned
+    into K spatial shards, each behind its own worker over ``--transport``.
+    ``--rps`` switches the drive from the closed-loop replay to the
+    open-loop Poisson load generator, where ``--max-inflight`` admission
+    control and load shedding become observable (see docs/scaling.md).
     """
     from .obs import FileSink
     from .serve import (
@@ -321,11 +328,15 @@ def cmd_serve(args) -> int:
         ServableBundle,
         ServeConfig,
         ServingEngine,
+        ShardedServingEngine,
         SlidingWindowStore,
         make_servable,
         replay_split,
+        run_load,
     )
 
+    if args.workers < 1:
+        raise SystemExit(f"--workers must be >= 1, got {args.workers}")
     set_seed(args.seed)
     data = _get_data(args)
     if args.servable:
@@ -350,38 +361,68 @@ def cmd_serve(args) -> int:
     if args.save_servable:
         path = bundle.save(args.save_servable)
         print(f"servable bundle -> {path}")
-    registry = ModelRegistry()
-    version = registry.publish(bundle)
-    store = SlidingWindowStore.for_bundle(bundle)
     sink = FileSink(args.telemetry) if args.telemetry else None
     config = ServeConfig(
         max_batch=args.max_batch,
         max_wait_s=args.max_wait_ms / 1000.0,
-        policy=DegradationPolicy(outage_threshold=args.outage_threshold),
+        policy=DegradationPolicy(
+            outage_threshold=args.outage_threshold,
+            max_inflight=args.max_inflight,
+            shed_on_overload=not args.no_shed,
+        ),
     )
-    with ServingEngine(registry, store, config, sink=sink) as engine:
-        summary = replay_split(
-            engine, data,
-            steps=args.replay_steps,
-            requests_per_step=args.requests_per_step,
-            concurrency=args.concurrency,
+    if args.workers > 1:
+        engine = ShardedServingEngine(
+            bundle, num_shards=args.workers, config=config,
+            transport=args.transport, halo_hops=args.halo_hops, sink=sink,
         )
-        engine.emit_telemetry()
-    telemetry = summary["telemetry"]
-    print(f"served {name} {version}: {summary['requests']} requests over "
-          f"{summary['steps']} observation ticks")
-    print(f"  sources:   model {summary['sources']['model']}, "
-          f"cache {summary['sources']['cache']}, "
-          f"fallback {summary['sources']['fallback']} {summary['fallback_reasons']}")
-    print(f"  batching:  {telemetry['batches']} batches, "
-          f"mean size {telemetry['mean_batch_size']:.2f}, "
-          f"max queue depth {telemetry['queue_depth_max']}")
-    print(f"  latency:   p50 {telemetry['latency_ms_p50']:.2f} ms, "
-          f"p95 {telemetry['latency_ms_p95']:.2f} ms, "
-          f"p99 {telemetry['latency_ms_p99']:.2f} ms")
-    print(f"  cache:     {telemetry['cache_hits']} hits / "
-          f"{telemetry['cache_misses']} misses "
-          f"(hit rate {telemetry['cache_hit_rate']:.2f})")
+        version = engine.active_version
+    else:
+        registry = ModelRegistry()
+        version = registry.publish(bundle)
+        store = SlidingWindowStore.for_bundle(bundle)
+        engine = ServingEngine(registry, store, config, sink=sink)
+    with engine:
+        if args.rps:
+            result = run_load(
+                engine, data,
+                rps=args.rps, duration_s=args.duration,
+                steps=args.replay_steps, concurrency=args.concurrency,
+                seed=args.seed,
+            )
+            telemetry = engine.emit_telemetry()
+            print(f"served {name} {version} open-loop: {result.requests} requests "
+                  f"({result.offered_rps:.0f} rps offered, "
+                  f"{result.achieved_rps:.0f} achieved), {result.shed} shed")
+            print(f"  sources:   {result.sources} {result.fallback_reasons}")
+            print(f"  latency:   p50 {result.latency_ms_p50:.2f} ms, "
+                  f"p95 {result.latency_ms_p95:.2f} ms, "
+                  f"p99 {result.latency_ms_p99:.2f} ms")
+        else:
+            summary = replay_split(
+                engine, data,
+                steps=args.replay_steps,
+                requests_per_step=args.requests_per_step,
+                concurrency=args.concurrency,
+            )
+            engine.emit_telemetry()
+            telemetry = summary["telemetry"]
+            print(f"served {name} {version}: {summary['requests']} requests over "
+                  f"{summary['steps']} observation ticks")
+            print(f"  sources:   model {summary['sources']['model']}, "
+                  f"cache {summary['sources']['cache']}, "
+                  f"fallback {summary['sources']['fallback']} {summary['fallback_reasons']}")
+            print(f"  batching:  {telemetry['batches']} batches, "
+                  f"mean size {telemetry['mean_batch_size']:.2f}, "
+                  f"max queue depth {telemetry['queue_depth_max']}")
+            print(f"  latency:   p50 {telemetry['latency_ms_p50']:.2f} ms, "
+                  f"p95 {telemetry['latency_ms_p95']:.2f} ms, "
+                  f"p99 {telemetry['latency_ms_p99']:.2f} ms")
+            print(f"  cache:     {telemetry['cache_hits']} hits / "
+                  f"{telemetry['cache_misses']} misses "
+                  f"(hit rate {telemetry['cache_hit_rate']:.2f})")
+    if args.workers > 1:
+        print(f"  sharding:  {args.workers} workers over {args.transport} transport")
     if sink is not None:
         sink.close()
         print(f"  telemetry -> {args.telemetry}")
@@ -449,6 +490,21 @@ def build_parser() -> argparse.ArgumentParser:
                    help="observation ticks to replay from the series tail")
     p.add_argument("--requests-per-step", type=int, default=4)
     p.add_argument("--concurrency", type=int, default=4)
+    p.add_argument("--workers", type=int, default=1,
+                   help="spatial shards; >1 serves through the sharded router")
+    p.add_argument("--transport", default="process",
+                   choices=("process", "loopback"),
+                   help="how shard workers are hosted when --workers > 1")
+    p.add_argument("--halo-hops", type=int, default=1,
+                   help="halo ring width around each shard (see docs/scaling.md)")
+    p.add_argument("--rps", type=float, default=None,
+                   help="open-loop Poisson arrival rate; omit for closed-loop replay")
+    p.add_argument("--duration", type=float, default=2.0,
+                   help="open-loop run length in seconds (with --rps)")
+    p.add_argument("--max-inflight", type=int, default=None,
+                   help="router admission-control limit; overload arrivals are shed")
+    p.add_argument("--no-shed", action="store_true",
+                   help="keep the --max-inflight limit visible but let requests queue")
     p.add_argument("--max-batch", type=int, default=16)
     p.add_argument("--max-wait-ms", type=float, default=2.0,
                    help="micro-batcher coalescing window in milliseconds")
@@ -486,7 +542,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "with --train-step)")
     p.set_defaults(fn=cmd_profile)
 
-    p = sub.add_parser("lint", help="run the repo-specific AST linter (rules R001-R008)")
+    p = sub.add_parser("lint", help="run the repo-specific AST linter (rules R001-R009)")
     p.add_argument("paths", nargs="*", default=list(DEFAULT_LINT_PATHS),
                    help="files or directories to lint (default: src examples benchmarks)")
     p.add_argument("--root", default=".", help="repository root the paths are relative to")

@@ -7,6 +7,7 @@ from .adjacency import (
     validate_adjacency,
 )
 from .localized import localized_transition, localized_transition_stack, mask_self_loops
+from .partition import cut_edges, greedy_min_cut, hop_neighborhood
 from .road_network import RoadNetwork, generate_road_network
 from .transition import (
     backward_transition,
@@ -20,10 +21,13 @@ __all__ = [
     "RoadNetwork",
     "backward_transition",
     "binary_adjacency",
+    "cut_edges",
     "shortest_path_distances",
     "forward_transition",
     "gaussian_kernel_adjacency",
     "generate_road_network",
+    "greedy_min_cut",
+    "hop_neighborhood",
     "localized_transition",
     "localized_transition_stack",
     "mask_self_loops",

@@ -1,0 +1,169 @@
+"""Spatial graph partitioning for sharded serving.
+
+Sharded serving (``repro.serve.shard``) splits the road graph into K
+balanced node sets and runs one worker per set.  D²STGNN's decoupling makes
+this tractable: the *inherent* signal is node-local, so only the *diffusion*
+term crosses shard boundaries — a partition that cuts few diffusion edges
+keeps the halo (the out-of-shard nodes a shard must still see) small.
+
+:func:`greedy_min_cut` is a deterministic METIS-style heuristic: seed K
+shards at mutually distant nodes, then grow each shard one frontier node at
+a time, always absorbing the unassigned node with the strongest connection
+to the shard, under a hard balance cap.  It is not optimal — min-cut
+partitioning is NP-hard — but on the planar road networks the simulator
+generates it recovers contiguous regions with boundary-sized cuts, which is
+all the halo-size bound needs.
+
+:func:`hop_neighborhood` and :func:`cut_edges` are the supporting
+primitives: the r-hop ball a shard's receptive field covers, and the edges a
+partition severs (what the halo must exactly re-cover — see
+``tests/test_serve_shard.py`` for the invariant).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["greedy_min_cut", "hop_neighborhood", "cut_edges"]
+
+
+def _support(adjacency: np.ndarray) -> np.ndarray:
+    """Symmetric boolean connectivity without self-loops.
+
+    Diffusion flows both ways through the forward/backward transition pair
+    (Eq. 4 context), so partition quality is judged on the symmetrised
+    structure even when the adjacency itself is directed.
+    """
+    adjacency = np.asarray(adjacency)
+    if adjacency.ndim != 2 or adjacency.shape[0] != adjacency.shape[1]:
+        raise ValueError(f"adjacency must be square, got {adjacency.shape}")
+    support = (adjacency != 0) | (adjacency.T != 0)
+    np.fill_diagonal(support, False)
+    return support
+
+
+def greedy_min_cut(adjacency: np.ndarray, num_parts: int) -> np.ndarray:
+    """Partition nodes into ``num_parts`` balanced sets with a small cut.
+
+    Returns an ``(N,)`` int array mapping node -> part id in
+    ``[0, num_parts)``.  Deterministic for a given adjacency; every node is
+    assigned to exactly one part, and no part exceeds ``ceil(N / num_parts)``
+    nodes.  ``num_parts=1`` returns the trivial all-zeros assignment.
+    """
+    support = _support(adjacency)
+    n = support.shape[0]
+    if num_parts <= 0:
+        raise ValueError("num_parts must be positive")
+    if num_parts > n:
+        raise ValueError(f"cannot split {n} nodes into {num_parts} parts")
+    assignment = np.full(n, -1, dtype=np.int64)
+    if num_parts == 1:
+        return np.zeros(n, dtype=np.int64)
+
+    weights = np.where(support, np.abs(np.asarray(adjacency, dtype=np.float64)), 0.0)
+    weights = np.maximum(weights, weights.T)  # symmetric edge weights
+
+    # Seed parts at mutually distant nodes (greedy k-center on hop distance),
+    # so shards grow from opposite ends of the network instead of fighting
+    # over one region.
+    seeds = [0]
+    distance = _hop_distances(support, 0)
+    for _ in range(1, num_parts):
+        candidate = int(np.argmax(np.where(np.isfinite(distance), distance, -1.0)))
+        if candidate in seeds:  # disconnected leftovers: take smallest unseeded
+            candidate = int(next(i for i in range(n) if i not in seeds))
+        seeds.append(candidate)
+        distance = np.minimum(distance, _hop_distances(support, candidate))
+
+    capacity = -(-n // num_parts)  # ceil(N / K) hard balance cap
+    sizes = np.zeros(num_parts, dtype=np.int64)
+    # attraction[p, j]: total edge weight from part p to unassigned node j.
+    attraction = np.zeros((num_parts, n), dtype=np.float64)
+    for part, seed in enumerate(seeds):
+        assignment[seed] = part
+        sizes[part] = 1
+        attraction[:, seed] = -np.inf
+        attraction[part] += weights[seed]
+
+    # Round-robin growth: each part absorbs its best frontier node in turn,
+    # which keeps sizes balanced while following the edge structure.
+    remaining = n - num_parts
+    while remaining:
+        progressed = False
+        for part in range(num_parts):
+            if not remaining or sizes[part] >= capacity:
+                continue
+            row = attraction[part]
+            best = int(np.argmax(row))
+            if not np.isfinite(row[best]) or row[best] <= 0.0:
+                unassigned = np.nonzero(assignment < 0)[0]
+                if unassigned.size == 0:
+                    break
+                best = int(unassigned[0])  # disconnected: smallest id
+            assignment[best] = part
+            sizes[part] += 1
+            attraction[:, best] = -np.inf
+            attraction[part] += np.where(assignment < 0, weights[best], 0.0)
+            remaining -= 1
+            progressed = True
+        if not progressed:  # all open parts full — widen the smallest
+            part = int(np.argmin(sizes))
+            capacity += 1
+    return assignment
+
+
+def _hop_distances(support: np.ndarray, source: int) -> np.ndarray:
+    """BFS hop distances from ``source``; ``inf`` where unreachable."""
+    n = support.shape[0]
+    distance = np.full(n, np.inf)
+    distance[source] = 0
+    frontier = np.zeros(n, dtype=bool)
+    frontier[source] = True
+    hops = 0
+    while frontier.any():
+        hops += 1
+        reached = support[frontier].any(axis=0) & ~np.isfinite(distance)
+        distance[reached] = hops
+        frontier = reached
+    return distance
+
+
+def hop_neighborhood(
+    adjacency: np.ndarray, members: np.ndarray, hops: int = 1
+) -> np.ndarray:
+    """Nodes within ``hops`` edges of ``members``, excluding the members.
+
+    This is the halo a shard needs: with a spatial receptive field of
+    ``r`` hops, a worker holding ``members`` plus their ``r``-hop
+    neighborhood can reproduce the full-graph outputs for ``members``
+    exactly (see ``docs/scaling.md`` for the dependency argument).
+    Returns sorted global node ids.
+    """
+    if hops < 0:
+        raise ValueError("hops must be non-negative")
+    support = _support(adjacency)
+    inside = np.zeros(support.shape[0], dtype=bool)
+    inside[np.asarray(members, dtype=np.int64)] = True
+    covered = inside.copy()
+    frontier = inside
+    for _ in range(hops):
+        reached = support[frontier].any(axis=0) & ~covered
+        if not reached.any():
+            break
+        covered |= reached
+        frontier = reached
+    return np.nonzero(covered & ~inside)[0].astype(np.int64)
+
+
+def cut_edges(adjacency: np.ndarray, assignment: np.ndarray) -> np.ndarray:
+    """The (i, j) pairs the partition severs, as an ``(E, 2)`` id array.
+
+    An edge is cut when its endpoints land in different parts; both
+    directions of a symmetric edge count once (i < j ordering on the
+    symmetrised support).
+    """
+    support = _support(adjacency)
+    assignment = np.asarray(assignment, dtype=np.int64)
+    i, j = np.nonzero(np.triu(support, k=1))
+    crossing = assignment[i] != assignment[j]
+    return np.stack([i[crossing], j[crossing]], axis=1)

@@ -1,6 +1,7 @@
 """Online inference: serve trained forecasters against live observations.
 
-The serving stack (see ``docs/serving.md``), bottom to top:
+The serving stack (see ``docs/serving.md`` and ``docs/scaling.md``),
+bottom to top:
 
 * :class:`ServableBundle` / :class:`ModelRegistry` — package a trained
   model, its build recipe, scaler statistics and a fallback profile into a
@@ -11,40 +12,71 @@ The serving stack (see ``docs/serving.md``), bottom to top:
   outages at ingest exactly as the training pipeline does.
 * :class:`MicroBatcher` — coalesces concurrent requests into one batched
   forward under the tensor engine's inference mode; the only place in this
-  package allowed to invoke a model (lint rule R008).
+  package allowed to invoke a model (lint rules R008/R009).
 * :class:`PredictionCache` — LRU over (version, window signature, horizon);
   a hot-swap or a new observation makes stale entries unreachable.
-* :class:`ServingEngine` — the front door: cold-start/outage/anomaly/error
-  degradation to the historical-average profile
-  (:class:`DegradationPolicy`), plus serving telemetry through
-  :func:`repro.obs.serving_record`.
+* :class:`EngineCore` — the transport-free compute core: the
+  cold-start/outage/anomaly/error degradation ladder over store, cache and
+  batcher (:class:`DegradationPolicy`).
+* :class:`ServingEngine` — the single-process front door: a core plus
+  telemetry emission through :func:`repro.obs.serving_record`; the K=1
+  special case of the sharded stack.
+* :class:`ShardedServingEngine` — the scaled front door: the graph split
+  into K spatial shards (:func:`partition_graph`), one worker per shard
+  behind a transport (:class:`LoopbackTransport` in-process,
+  :class:`ProcessTransport` one process each), halo exchange at ingest,
+  admission control with load shedding under overload.
 
-Entry points: ``repro serve`` on the command line, :func:`replay_split`
-for trace-driven drives, ``benchmarks/bench_serve.py`` for the tracked
-``BENCH_serve.json`` throughput gate.
+Entry points: ``repro serve`` on the command line (``--workers`` selects
+the sharded stack), :func:`replay_split` for trace-driven drives,
+:func:`run_load` for open-loop Poisson load generation,
+``benchmarks/bench_serve.py`` and ``benchmarks/bench_serve_scale.py`` for
+the tracked ``BENCH_serve.json`` / ``BENCH_serve_scale.json`` gates.
 """
 
 from .cache import PredictionCache
 from .degrade import DegradationPolicy, fallback_forecast
-from .engine import ForecastResult, ServeConfig, ServingEngine
+from .engine import EngineCore, ForecastResult, ServeConfig, ServingEngine
+from .loadgen import LoadResult, poisson_arrivals, run_load
 from .microbatch import ForecastRequest, MicroBatcher
 from .registry import ModelRegistry, ServableBundle, ServableSpec, make_servable
 from .replay import replay_split
+from .router import ShardedServingEngine
+from .shard import GraphPartition, ShardPlan, partition_graph, shard_bundle
+from .transport import (
+    LoopbackTransport,
+    ProcessTransport,
+    TransportError,
+    WorkerTransport,
+)
 from .window_store import SlidingWindowStore
 
 __all__ = [
     "DegradationPolicy",
+    "EngineCore",
     "ForecastRequest",
     "ForecastResult",
+    "GraphPartition",
+    "LoadResult",
+    "LoopbackTransport",
     "MicroBatcher",
     "ModelRegistry",
     "PredictionCache",
+    "ProcessTransport",
     "ServableBundle",
     "ServableSpec",
     "ServeConfig",
     "ServingEngine",
+    "ShardPlan",
+    "ShardedServingEngine",
     "SlidingWindowStore",
+    "TransportError",
+    "WorkerTransport",
     "fallback_forecast",
     "make_servable",
+    "partition_graph",
+    "poisson_arrivals",
     "replay_split",
+    "run_load",
+    "shard_bundle",
 ]

@@ -32,11 +32,23 @@ class DegradationPolicy:
     to trust.  ``fallback_on_error`` / ``fallback_on_nan`` control whether
     forward exceptions and non-finite outputs degrade (the default) or
     propagate to the caller (strict mode, for debugging).
+
+    ``max_inflight`` / ``shed_on_overload`` are the sharded router's
+    admission control (:class:`~repro.serve.ShardedServingEngine`): once
+    more than ``max_inflight`` requests are inside the router, new arrivals
+    are *shed* — answered immediately from the historical-average profile
+    with reason ``"shed"`` — instead of queueing into a latency collapse.
+    ``max_inflight=None`` disables admission control;
+    ``shed_on_overload=False`` keeps the limit visible in telemetry but
+    lets requests queue (the control arm of the overload benchmark).
+    The single-process engine ignores both fields.
     """
 
     outage_threshold: float = 0.5
     fallback_on_error: bool = True
     fallback_on_nan: bool = True
+    max_inflight: int | None = None
+    shed_on_overload: bool = True
 
 
 def fallback_forecast(

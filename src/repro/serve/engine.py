@@ -1,7 +1,18 @@
 """The serving engine: ingestion, caching, batching and degradation in one.
 
-:class:`ServingEngine` is the front door of :mod:`repro.serve`.  One
-``forecast`` call walks the full serving decision ladder:
+Since the sharding refactor this module is split along the engine/transport
+seam (see docs/scaling.md):
+
+* :class:`EngineCore` is the **pure compute core** — the full serving
+  decision ladder over a registry, a window store, a prediction cache and a
+  micro-batcher, with no opinion about where requests come from.  Shard
+  workers run one core each, behind whatever transport
+  (:mod:`repro.serve.transport`) carries their requests.
+* :class:`ServingEngine` is the single-process front door — a core plus
+  telemetry emission.  It is the K=1 special case of the sharded stack and
+  byte-for-byte the engine previous releases shipped.
+
+One ``forecast`` call walks the full serving decision ladder:
 
 1. **cold start** — window not yet full → historical-average fallback;
 2. **outage** — too many null-coded sensors in the window
@@ -36,7 +47,7 @@ from .microbatch import ForecastRequest, MicroBatcher
 from .registry import ModelRegistry
 from .window_store import SlidingWindowStore
 
-__all__ = ["ServeConfig", "ForecastResult", "ServingEngine"]
+__all__ = ["ServeConfig", "ForecastResult", "EngineCore", "ServingEngine"]
 
 
 @dataclass
@@ -58,7 +69,8 @@ class ForecastResult:
 
     ``values`` is ``(horizon, num_nodes)``; ``source`` is ``"model"``,
     ``"cache"`` or ``"fallback"`` (with ``reason`` saying why it degraded:
-    ``"cold_start"``, ``"outage"``, ``"anomaly"`` or ``"error"``).
+    ``"cold_start"``, ``"outage"``, ``"anomaly"``, ``"error"`` — or, from
+    the sharded router, ``"shed"`` under admission control).
     """
 
     values: np.ndarray
@@ -68,12 +80,15 @@ class ForecastResult:
     latency_s: float
 
 
-class ServingEngine:
-    """Online forecasts over a live observation stream.
+class EngineCore:
+    """The transport-free serving core: one store, one ladder, one batcher.
 
     ``registry`` supplies the active servable (hot-swappable between
-    batches); ``store`` holds the streaming window; ``sink`` (optional)
-    receives the telemetry summary from :meth:`emit_telemetry`.
+    batches); ``store`` holds the streaming window.  Everything here is
+    pure request-in/result-out compute — the in-process
+    :class:`ServingEngine`, the loopback transport and the multiprocess
+    shard workers all run the same core, which is what keeps K=1 sharded
+    serving bit-identical to the single-process engine.
     """
 
     def __init__(
@@ -81,12 +96,10 @@ class ServingEngine:
         registry: ModelRegistry,
         store: SlidingWindowStore,
         config: ServeConfig | None = None,
-        sink=None,
     ) -> None:
         self.registry = registry
         self.store = store
         self.config = config or ServeConfig()
-        self.sink = sink
         self.cache = PredictionCache(capacity=self.config.cache_capacity)
         self.batcher = MicroBatcher(
             registry.resolve,
@@ -215,19 +228,38 @@ class ServingEngine:
             active_version=self.registry.active_version,
         )
 
+    def close(self) -> None:
+        """Stop the micro-batcher's worker thread."""
+        self.batcher.stop()
+
+    def __enter__(self) -> "EngineCore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class ServingEngine(EngineCore):
+    """Online forecasts over a live observation stream (single process).
+
+    An :class:`EngineCore` plus telemetry emission — the K=1 special case
+    of the sharded serving stack.  ``sink`` (optional) receives the
+    telemetry summary from :meth:`emit_telemetry`.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        store: SlidingWindowStore,
+        config: ServeConfig | None = None,
+        sink=None,
+    ) -> None:
+        super().__init__(registry, store, config)
+        self.sink = sink
+
     def emit_telemetry(self) -> dict:
         """Build the summary record and emit it to the sink (if any)."""
         report = self.telemetry_report()
         if self.sink is not None:
             self.sink.emit(report)
         return report
-
-    def close(self) -> None:
-        """Stop the micro-batcher's worker thread."""
-        self.batcher.stop()
-
-    def __enter__(self) -> "ServingEngine":
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.close()

@@ -86,12 +86,12 @@ class ServableBundle:
         scaler.std = self.spec.scaler_std
         return scaler
 
-    def instantiate(self):
-        """Build the model from the spec, load parameters, switch to eval.
+    def instantiate_fresh(self):
+        """Build the architecture from the spec without loading parameters.
 
-        Returns a ready-to-serve :class:`~repro.nn.Module`; raises
-        :class:`~repro.utils.checkpoint.CheckpointError` when the stored
-        state does not fit the freshly built architecture.
+        The shard slicer (:func:`repro.serve.shard.shard_bundle`) uses the
+        fresh model's state-dict shapes as the reconciliation template for
+        node-axis slicing.
         """
         model, _ = build_model_from_parts(
             self.spec.model,
@@ -101,6 +101,16 @@ class ServableBundle:
             hidden=self.spec.hidden,
             layers=self.spec.layers,
         )
+        return model
+
+    def instantiate(self):
+        """Build the model from the spec, load parameters, switch to eval.
+
+        Returns a ready-to-serve :class:`~repro.nn.Module`; raises
+        :class:`~repro.utils.checkpoint.CheckpointError` when the stored
+        state does not fit the freshly built architecture.
+        """
+        model = self.instantiate_fresh()
         try:
             model.load_state_dict(self.state)
         except (KeyError, ValueError) as error:
@@ -227,6 +237,7 @@ class ModelRegistry:
         self._lock = threading.RLock()
         self._bundles: dict[str, ServableBundle] = {}
         self._instances: dict[str, object] = {}
+        self._loading: dict[str, threading.Event] = {}
         self._order: list[str] = []
         self._active: str | None = None
         self._counter = 0
@@ -282,6 +293,16 @@ class ModelRegistry:
         The micro-batcher calls this once per batch, so an ``activate``
         between batches takes effect on the next batch without restarting
         anything.
+
+        Race safety: the (possibly slow) first instantiation of a version
+        runs *outside* the registry lock, guarded by a per-version loading
+        event.  A hot-swap that lands mid-load neither blocks behind the
+        load nor tears the result — the returned triple is always the
+        consistent snapshot taken at entry (the version the request
+        resolved, that version's fully loaded model, that version's
+        bundle), never a half-loaded model or a model/version mismatch.
+        ``tests/test_serve_shard.py`` races an injected slow load against
+        ``activate`` to pin this down.
         """
         with self._lock:
             if self._active is None:
@@ -289,7 +310,29 @@ class ModelRegistry:
             version = self._active
             bundle = self._bundles[version]
             instance = self._instances.get(version)
-            if instance is None:
+            if instance is not None:
+                return version, instance, bundle
+            pending = self._loading.get(version)
+            if pending is None:
+                pending = self._loading[version] = threading.Event()
+                loader = True
+            else:
+                loader = False
+        if loader:
+            try:
                 instance = bundle.instantiate()
-                self._instances[version] = instance
+                with self._lock:
+                    # Publish only the finished model; concurrent resolvers
+                    # (and later activates back to this version) reuse it.
+                    self._instances[version] = instance
+            finally:
+                with self._lock:
+                    self._loading.pop(version, None)
+                pending.set()
             return version, instance, bundle
+        pending.wait()
+        with self._lock:
+            instance = self._instances.get(version)
+        if instance is None:  # the loading thread failed; surface its error
+            return version, bundle.instantiate(), bundle
+        return version, instance, bundle

@@ -1,0 +1,350 @@
+"""The sharded serving front-end: scatter observations, gather forecasts.
+
+:class:`ShardedServingEngine` is the multi-shard counterpart of
+:class:`~repro.serve.ServingEngine`: it partitions the road graph
+(:func:`repro.serve.shard.partition_graph`), runs one worker per shard
+behind a :mod:`transport <repro.serve.transport>` (in-process loopback or
+one process per shard), and presents the same ``observe`` / ``forecast`` /
+``telemetry_report`` surface — ``replay_split`` and the load generator
+drive either engine unchanged.
+
+Responsibilities, top to bottom:
+
+* **Admission control** — ``DegradationPolicy.max_inflight`` bounds the
+  requests inside the router; overload arrivals are shed straight to the
+  historical-average profile (reason ``"shed"``) instead of queueing into a
+  latency collapse.  ``benchmarks/bench_serve_scale.py`` measures the p99
+  difference this buys under 2x-capacity overload.
+* **Scatter/gather** — one ``observe`` fans each shard its local slice of
+  the row (owned + halo columns: the halo exchange); one ``forecast`` fans
+  out to every shard and stitches the owned columns of each answer into
+  the full ``(horizon, N)`` forecast.
+* **Degradation** — a shard that degrades (cold start, outage, anomaly)
+  answers from its local fallback profile, so the stitched forecast is
+  still complete; a shard that *dies* (:class:`TransportError`) degrades
+  the whole request to the router's full-graph fallback per
+  ``fallback_on_error``.
+
+K=1 with the loopback transport is the plain serving engine wearing a
+router hat: same core, same ladder, bit-identical outputs.
+
+No model is invoked here (lint rules R008/R009) — forwards happen inside
+each worker's micro-batcher.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from ..obs.telemetry import serving_record
+from ..utils.timer import now
+from .degrade import fallback_forecast
+from .engine import ForecastResult, ServeConfig
+from .registry import ServableBundle
+from .shard import GraphPartition, partition_graph, shard_bundle
+from .transport import LoopbackTransport, ProcessTransport, TransportError
+
+__all__ = ["ShardedServingEngine"]
+
+_TRANSPORTS = {"loopback": LoopbackTransport, "process": ProcessTransport}
+
+
+class _ScatterStore:
+    """The store-shaped face of the router.
+
+    ``replay_split`` and the load generator talk to ``engine.store``
+    (history, warm_from, last_time); the router has one window store *per
+    worker*, so this facade forwards those calls through the scatter path.
+    """
+
+    def __init__(self, router: "ShardedServingEngine") -> None:
+        self._router = router
+        self.history = router.bundle.spec.history
+        self.num_nodes = router.bundle.spec.num_nodes
+
+    def warm_from(self, values: np.ndarray, tod: np.ndarray, dow: np.ndarray) -> int:
+        values = np.asarray(values)
+        signature = 0
+        for step in range(values.shape[0]):
+            signature = self._router.observe(
+                values[step], int(tod[step]), int(dow[step])
+            )
+        return signature
+
+    def last_time(self) -> tuple[int, int]:
+        return self._router.last_time()
+
+    def __len__(self) -> int:
+        return min(self._router.observed, self.history)
+
+
+class ShardedServingEngine:
+    """Forecasts over K spatial shards behind one front door.
+
+    ``transport`` is ``"process"`` (one worker process per shard — real
+    serving) or ``"loopback"`` (in-process cores — tests, and the exact
+    K=1 equivalence).  ``halo_hops`` widens each shard's halo ring; 1
+    covers the cut diffusion edges exactly, larger values buy boundary
+    accuracy for deeper receptive fields (docs/scaling.md).
+    """
+
+    def __init__(
+        self,
+        bundle: ServableBundle,
+        num_shards: int = 2,
+        config: ServeConfig | None = None,
+        *,
+        transport: str = "process",
+        halo_hops: int = 1,
+        partition: GraphPartition | None = None,
+        sink=None,
+    ) -> None:
+        if transport not in _TRANSPORTS:
+            raise ValueError(
+                f"unknown transport {transport!r}; choose from {sorted(_TRANSPORTS)}"
+            )
+        self.bundle = bundle
+        self.config = config or ServeConfig()
+        self.partition = partition or partition_graph(
+            bundle.adjacency, num_shards, halo_hops=halo_hops
+        )
+        if self.partition.num_nodes != bundle.spec.num_nodes:
+            raise ValueError(
+                f"partition covers {self.partition.num_nodes} nodes, "
+                f"bundle has {bundle.spec.num_nodes}"
+            )
+        self.transport_kind = transport
+        self.sink = sink
+        self._version_counter = 1
+        self.active_version = "v1"
+        self._fallback_profiles = {"v1": bundle.fallback_profile}
+        transport_cls = _TRANSPORTS[transport]
+        self.workers = [
+            transport_cls(shard_bundle(bundle, plan), version="v1", config=self.config)
+            for plan in self.partition.plans
+        ]
+        self.store = _ScatterStore(self)
+        self._rpc_lock = threading.Lock()  # one scatter/gather round at a time
+        self._state_lock = threading.Lock()
+        self._inflight = 0
+        self.observed = 0
+        self._signature = 0
+        self._last_time: tuple[int, int] | None = None
+        self._latencies: list[float] = []
+        self._sources: dict[str, int] = {}
+        self._fallback_reasons: dict[str, int] = {}
+        self._shed = 0
+
+    # ------------------------------------------------------------------
+    # Ingestion: scatter each row's owned+halo slices to the workers
+    # ------------------------------------------------------------------
+    def observe(self, values: np.ndarray, tod: int, dow: int) -> int:
+        values = np.asarray(values, dtype=np.float32).reshape(-1)
+        if values.shape[0] != self.store.num_nodes:
+            raise ValueError(
+                f"expected {self.store.num_nodes} node values, got {values.shape[0]}"
+            )
+        slices = self.partition.scatter_row(values)
+        with self._rpc_lock:
+            for worker, local in zip(self.workers, slices):
+                worker.post("observe", (local, tod, dow))
+            for worker in self.workers:
+                worker.wait()
+        with self._state_lock:
+            self.observed += 1
+            self._signature += 1
+            self._last_time = (int(tod), int(dow))
+            return self._signature
+
+    def last_time(self) -> tuple[int, int]:
+        with self._state_lock:
+            if self._last_time is None:
+                raise RuntimeError("no observations ingested yet")
+            return self._last_time
+
+    # ------------------------------------------------------------------
+    # Serving: admission control, fan-out, stitch
+    # ------------------------------------------------------------------
+    def forecast(self, horizon: int | None = None) -> ForecastResult:
+        start = now()
+        spec = self.bundle.spec
+        if horizon is None:
+            horizon = self.config.horizon or spec.horizon
+        if not 1 <= horizon <= spec.horizon:
+            raise ValueError(f"horizon must be in [1, {spec.horizon}], got {horizon}")
+        policy = self.config.policy
+        shed_now = False
+        with self._state_lock:
+            if self.observed == 0:
+                raise RuntimeError("no observations ingested yet; call observe() first")
+            over_limit = (
+                policy.max_inflight is not None
+                and self._inflight >= policy.max_inflight
+            )
+            if over_limit and policy.shed_on_overload:
+                shed_now = True
+                self._shed += 1
+                last_tod, last_dow = self._last_time
+                profile = self._fallback_profiles[self.active_version]
+                version = self.active_version
+            else:
+                self._inflight += 1
+        if shed_now:
+            values = fallback_forecast(
+                profile, last_tod, last_dow, horizon, spec.steps_per_day
+            )
+            return self._finish(values, "fallback", version, "shed", start)
+        try:
+            shard_results = self._gather(horizon)
+        except TransportError:
+            if not policy.fallback_on_error:
+                raise
+            shard_results = None
+        finally:
+            with self._state_lock:
+                self._inflight -= 1
+        if shard_results is None:
+            values = self._shed_values(horizon)
+            return self._finish(values, "fallback", self.active_version, "error", start)
+        values = self.partition.gather([result.values for result in shard_results])
+        sources = {result.source for result in shard_results}
+        if "fallback" in sources:
+            source = "fallback"
+            reason = next(r.reason for r in shard_results if r.reason is not None)
+        elif "model" in sources:
+            source, reason = "model", None
+        else:
+            source, reason = "cache", None
+        return self._finish(values, source, shard_results[0].version, reason, start)
+
+    def _gather(self, horizon: int) -> list[ForecastResult]:
+        with self._rpc_lock:
+            for worker in self.workers:
+                worker.post("forecast", (horizon,))
+            return [worker.wait() for worker in self.workers]
+
+    def _shed_values(self, horizon: int) -> np.ndarray:
+        last_tod, last_dow = self.last_time()
+        profile = self._fallback_profiles[self.active_version]
+        return fallback_forecast(
+            profile, last_tod, last_dow, horizon, self.bundle.spec.steps_per_day
+        )
+
+    def _finish(self, values, source, version, reason, start) -> ForecastResult:
+        with self._state_lock:
+            return self._finish_locked(values, source, version, reason, start)
+
+    def _finish_locked(self, values, source, version, reason, start) -> ForecastResult:
+        latency = now() - start
+        self._latencies.append(latency)
+        self._sources[source] = self._sources.get(source, 0) + 1
+        if reason is not None:
+            self._fallback_reasons[reason] = self._fallback_reasons.get(reason, 0) + 1
+        return ForecastResult(
+            values=values, source=source, version=version, reason=reason,
+            latency_s=latency,
+        )
+
+    # ------------------------------------------------------------------
+    # Versioning: hot-swap every shard in lockstep
+    # ------------------------------------------------------------------
+    def publish(self, bundle: ServableBundle, activate: bool = True) -> str:
+        """Shard a new bundle and publish it to every worker."""
+        if bundle.spec.num_nodes != self.bundle.spec.num_nodes:
+            raise ValueError("a published bundle must cover the same node set")
+        with self._state_lock:
+            self._version_counter += 1
+            version = f"v{self._version_counter}"
+            self._fallback_profiles[version] = bundle.fallback_profile
+        with self._rpc_lock:
+            for worker, plan in zip(self.workers, self.partition.plans):
+                worker.post("publish", (shard_bundle(bundle, plan), version, activate))
+            for worker in self.workers:
+                worker.wait()
+        if activate:
+            with self._state_lock:
+                self.active_version = version
+        return version
+
+    def activate(self, version: str) -> None:
+        """Hot-swap every shard to a published version."""
+        with self._state_lock:
+            if version not in self._fallback_profiles:
+                raise KeyError(f"unknown version {version!r}")
+        with self._rpc_lock:
+            for worker in self.workers:
+                worker.post("activate", (version,))
+            for worker in self.workers:
+                worker.wait()
+        with self._state_lock:
+            self.active_version = version
+
+    # ------------------------------------------------------------------
+    # Telemetry / lifecycle
+    # ------------------------------------------------------------------
+    def telemetry_report(self) -> dict:
+        """Router-level summary plus each shard's own serving record."""
+        with self._rpc_lock:
+            for worker in self.workers:
+                worker.post("telemetry")
+            shards = [worker.wait() for worker in self.workers]
+        with self._state_lock:
+            latencies_ms = np.asarray(self._latencies, dtype=np.float64) * 1000.0
+            sources = dict(self._sources)
+            fallback_reasons = dict(self._fallback_reasons)
+            shed = self._shed
+            version = self.active_version
+        percentile = (
+            (lambda q: float(np.percentile(latencies_ms, q)))
+            if latencies_ms.size
+            else (lambda q: 0.0)
+        )
+        batches = sum(s["batches"] for s in shards)
+        requests = int(latencies_ms.size)
+        cache_hits = sum(s["cache_hits"] for s in shards)
+        cache_misses = sum(s["cache_misses"] for s in shards)
+        lookups = cache_hits + cache_misses
+        report = serving_record(
+            requests=requests,
+            batches=batches,
+            mean_batch_size=(
+                sum(s["batches"] * s["mean_batch_size"] for s in shards) / batches
+                if batches else 0.0
+            ),
+            latency_ms_p50=percentile(50),
+            latency_ms_p95=percentile(95),
+            latency_ms_p99=percentile(99),
+            queue_depth_max=max((s["queue_depth_max"] for s in shards), default=0),
+            cache_hits=cache_hits,
+            cache_misses=cache_misses,
+            cache_hit_rate=cache_hits / lookups if lookups else 0.0,
+            fallbacks=sum(fallback_reasons.values()),
+            fallback_reasons=fallback_reasons,
+            served_by_model=sources.get("model", 0),
+            served_by_cache=sources.get("cache", 0),
+            active_version=version,
+        )
+        report["num_shards"] = self.partition.num_shards
+        report["transport"] = self.transport_kind
+        report["shed"] = shed
+        report["shards"] = shards
+        return report
+
+    def emit_telemetry(self) -> dict:
+        report = self.telemetry_report()
+        if self.sink is not None:
+            self.sink.emit(report)
+        return report
+
+    def close(self) -> None:
+        """Shut every worker down; idempotent, safe with requests in flight."""
+        for worker in self.workers:
+            worker.close()
+
+    def __enter__(self) -> "ShardedServingEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

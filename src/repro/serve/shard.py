@@ -1,0 +1,219 @@
+"""Spatial sharding: split one servable into per-shard sub-servables.
+
+A shard owns a subset of the road graph's nodes and serves forecasts for
+exactly those nodes.  Because the models mix information spatially (the
+diffusion term), a shard cannot forecast its owned nodes from their history
+alone — it also needs the recent observations of the *halo*, the
+out-of-shard nodes within reach of its owned nodes.  The decoupling the
+paper builds on is what keeps that halo small: the inherent signal never
+crosses the boundary, so the halo is exactly the neighborhood the diffusion
+edges reach (one ring per hop of spatial receptive field).
+
+The pieces:
+
+* :class:`ShardPlan` — one shard's node bookkeeping: ``owned`` global ids,
+  ``halo`` global ids, and the concatenated ``local`` ordering (owned
+  first) every local array uses.
+* :class:`GraphPartition` — the full K-shard layout built by
+  :func:`partition_graph` over :func:`repro.graph.greedy_min_cut`, with
+  ``scatter_row`` / ``gather`` to move observations down and stitch
+  forecasts back up.
+* :func:`shard_bundle` — restrict a :class:`~repro.serve.ServableBundle`
+  to one shard: slice the adjacency, the fallback profile and every
+  node-indexed parameter to the shard's local node set.  ``K=1`` is the
+  identity: the sub-bundle equals the original and serving it is
+  bit-identical to the unsharded engine.
+
+Exactness: with ``halo_hops`` at least the model's spatial receptive field
+plus one (the extra ring pins the degree normalisation of the outermost
+consumed row), a shard's owned-node outputs equal the full-graph outputs up
+to GEMM summation order — see docs/scaling.md for the argument and
+``tests/test_serve_shard.py`` for the measured check.  With the default
+1-hop halo the boundary is approximate for deeper receptive fields;
+dynamic-graph models (global attention) are approximate at any radius.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.partition import cut_edges, greedy_min_cut, hop_neighborhood
+from ..utils.checkpoint import CheckpointError
+from .registry import ServableBundle
+
+__all__ = ["ShardPlan", "GraphPartition", "partition_graph", "shard_bundle"]
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """One shard's slice of the graph.
+
+    ``owned`` are the global node ids this shard answers for; ``halo`` are
+    the out-of-shard ids it must also observe; ``local`` is their
+    concatenation (owned first) — the ordering of every local array the
+    shard touches (window store columns, sub-adjacency rows, forecast
+    columns).
+    """
+
+    shard: int
+    owned: np.ndarray
+    halo: np.ndarray
+
+    @property
+    def local(self) -> np.ndarray:
+        """Global ids of every node the shard holds, owned first."""
+        return np.concatenate([self.owned, self.halo])
+
+    @property
+    def num_owned(self) -> int:
+        return int(self.owned.shape[0])
+
+    @property
+    def num_local(self) -> int:
+        return int(self.owned.shape[0] + self.halo.shape[0])
+
+
+@dataclass(frozen=True)
+class GraphPartition:
+    """A K-shard spatial layout of an N-node graph."""
+
+    assignment: np.ndarray  # (N,) node -> shard id
+    plans: tuple[ShardPlan, ...]
+    halo_hops: int
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.plans)
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self.assignment.shape[0])
+
+    def scatter_row(self, values: np.ndarray) -> list[np.ndarray]:
+        """Slice one full observation row into per-shard local rows."""
+        values = np.asarray(values)
+        return [values[plan.local] for plan in self.plans]
+
+    def gather(self, outputs: list[np.ndarray]) -> np.ndarray:
+        """Stitch per-shard ``(horizon, num_local)`` forecasts into one.
+
+        Only each shard's owned columns are consumed — halo columns are the
+        shard's (possibly boundary-truncated) view of nodes another shard
+        answers for.
+        """
+        if len(outputs) != self.num_shards:
+            raise ValueError(
+                f"expected {self.num_shards} shard outputs, got {len(outputs)}"
+            )
+        horizon = outputs[0].shape[0]
+        full = np.empty((horizon, self.num_nodes), dtype=outputs[0].dtype)
+        for plan, output in zip(self.plans, outputs):
+            full[:, plan.owned] = output[:, : plan.num_owned]
+        return full
+
+
+def partition_graph(
+    adjacency: np.ndarray, num_shards: int, *, halo_hops: int = 1
+) -> GraphPartition:
+    """Partition a graph for sharded serving.
+
+    Greedy min-cut assignment (:func:`repro.graph.greedy_min_cut`) plus a
+    ``halo_hops``-ring halo per shard.  At ``halo_hops=1`` each shard's halo
+    is exactly the far endpoint set of its cut diffusion edges — the
+    invariant ``tests/test_serve_shard.py`` pins.
+    """
+    adjacency = np.asarray(adjacency)
+    assignment = greedy_min_cut(adjacency, num_shards)
+    plans = []
+    for shard in range(num_shards):
+        owned = np.nonzero(assignment == shard)[0].astype(np.int64)
+        halo = hop_neighborhood(adjacency, owned, hops=halo_hops)
+        plans.append(ShardPlan(shard=shard, owned=owned, halo=halo))
+    return GraphPartition(
+        assignment=assignment, plans=tuple(plans), halo_hops=halo_hops
+    )
+
+
+def partition_cut_edges(adjacency: np.ndarray, partition: GraphPartition) -> np.ndarray:
+    """The diffusion edges the partition severs (``(E, 2)`` global ids)."""
+    return cut_edges(adjacency, partition.assignment)
+
+
+def shard_bundle(bundle: ServableBundle, plan: ShardPlan) -> ServableBundle:
+    """Restrict a servable bundle to one shard's local node set.
+
+    The sub-bundle's spec counts only local nodes; the adjacency and
+    fallback profile are sliced to them.  Parameters are reconciled
+    shape-against-shape with a freshly built local model: any axis whose
+    size is the full node count where the local model expects the local
+    node count is sliced by the plan's global ids, everything else is kept
+    verbatim.  This keeps node-independent weights (graph convolutions,
+    temporal layers) bit-identical and carries node embeddings over row by
+    row; a parameter that cannot be reconciled raises
+    :class:`~repro.utils.checkpoint.CheckpointError` rather than serving a
+    silently misshapen model.
+
+    For the trivial one-shard plan the sub-bundle equals the original
+    bundle (same spec, equal arrays), which is what keeps K=1 sharded
+    serving bit-identical to the plain engine.
+    """
+    local = plan.local
+    full_nodes = bundle.spec.num_nodes
+    local_nodes = int(local.shape[0])
+    spec = dataclasses.replace(bundle.spec, num_nodes=local_nodes)
+    adjacency = np.ascontiguousarray(bundle.adjacency[np.ix_(local, local)])
+    fallback = np.ascontiguousarray(bundle.fallback_profile[:, :, local])
+    sub = ServableBundle(
+        spec=spec,
+        state={},
+        adjacency=adjacency,
+        fallback_profile=fallback,
+        extra=dict(bundle.extra, shard=plan.shard),
+    )
+    if local_nodes == full_nodes:
+        sub.state = {name: value.copy() for name, value in bundle.state.items()}
+        return sub
+    template = sub.instantiate_fresh()
+    expected = template.state_dict()
+    state: dict[str, np.ndarray] = {}
+    for name, value in bundle.state.items():
+        if name not in expected:
+            raise CheckpointError(
+                f"parameter {name!r} has no counterpart in the local {spec.model}"
+            )
+        state[name] = _slice_node_axes(
+            name, value, expected[name].shape, local, full_nodes
+        )
+    sub.state = state
+    return sub
+
+
+def _slice_node_axes(
+    name: str,
+    value: np.ndarray,
+    expected_shape: tuple[int, ...],
+    local: np.ndarray,
+    full_nodes: int,
+) -> np.ndarray:
+    """Reconcile one full-graph parameter with its local-model shape."""
+    if value.shape == expected_shape:
+        return value.copy()
+    if value.ndim != len(expected_shape):
+        raise CheckpointError(
+            f"parameter {name!r} rank mismatch: {value.shape} vs {expected_shape}"
+        )
+    sliced = value
+    for axis, (got, want) in enumerate(zip(value.shape, expected_shape)):
+        if got == want:
+            continue
+        if got == full_nodes and want == local.shape[0]:
+            sliced = np.take(sliced, local, axis=axis)
+        else:
+            raise CheckpointError(
+                f"parameter {name!r} axis {axis} cannot be sharded: "
+                f"{value.shape} vs expected {expected_shape}"
+            )
+    return np.ascontiguousarray(sliced)

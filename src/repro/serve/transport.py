@@ -1,0 +1,240 @@
+"""Transports: how forecast traffic reaches a shard's serving core.
+
+The engine/transport split (docs/scaling.md) keeps
+:class:`~repro.serve.EngineCore` pure compute and pushes *where the core
+runs* behind one small request/reply surface:
+
+* :class:`LoopbackTransport` — the core runs in-process and ops execute
+  inline in the caller's thread.  Zero overhead, fully deterministic, the
+  transport every test drives; the K=1 loopback shard is bit-identical to
+  the plain :class:`~repro.serve.ServingEngine`.
+* :class:`ProcessTransport` — the core runs in its own worker process
+  (one per shard), fed over a duplex pipe.  The worker owns its model,
+  window store, cache and micro-batcher outright, so K workers serve K
+  graph shards with no shared interpreter state.
+
+Both speak the same op set — ``observe``, ``forecast``, ``publish``,
+``activate``, ``telemetry``, ``stop`` — and both support the split
+``post``/``wait`` form the router uses to scatter a request across every
+shard before gathering any reply.  Worker failures surface as
+:class:`TransportError`, which the router's degradation ladder absorbs.
+
+No model is ever invoked in this module (lint rules R008/R009): transports
+move requests, the core's micro-batcher runs forwards.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import threading
+
+from .engine import EngineCore, ForecastResult, ServeConfig
+from .registry import ModelRegistry
+from .window_store import SlidingWindowStore
+
+__all__ = ["TransportError", "WorkerTransport", "LoopbackTransport", "ProcessTransport"]
+
+_STOP_TIMEOUT_S = 5.0
+
+
+class TransportError(RuntimeError):
+    """A shard worker could not be reached or died mid-request."""
+
+
+def _build_core(bundle, version: str, config: ServeConfig | None) -> EngineCore:
+    """One shard's serving stack: registry + store + core, from a bundle."""
+    registry = ModelRegistry()
+    registry.publish(bundle, version=version)
+    store = SlidingWindowStore.for_bundle(bundle)
+    return EngineCore(registry, store, config)
+
+
+class WorkerTransport:
+    """The op surface a shard worker exposes, however it is hosted.
+
+    Synchronous calls (:meth:`observe`, :meth:`forecast`, ...) are
+    ``post`` + ``wait`` fused; the split form lets the router scatter one
+    request to every shard before gathering any reply.  At most one
+    request may be outstanding per transport — the router serialises
+    scatter/gather rounds, so transports stay single-lane by design.
+    """
+
+    def post(self, op: str, payload: tuple = ()) -> None:
+        raise NotImplementedError
+
+    def wait(self):
+        raise NotImplementedError
+
+    def request(self, op: str, payload: tuple = ()):
+        self.post(op, payload)
+        return self.wait()
+
+    # Fused conveniences -------------------------------------------------
+    def observe(self, values, tod: int, dow: int) -> int:
+        return self.request("observe", (values, tod, dow))
+
+    def forecast(self, horizon: int | None = None) -> ForecastResult:
+        return self.request("forecast", (horizon,))
+
+    def publish(self, bundle, version: str, activate: bool = True) -> str:
+        return self.request("publish", (bundle, version, activate))
+
+    def activate(self, version: str) -> None:
+        self.request("activate", (version,))
+
+    def telemetry(self) -> dict:
+        return self.request("telemetry")
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+
+def _apply(core: EngineCore, op: str, payload: tuple):
+    """Execute one transport op against a serving core."""
+    if op == "observe":
+        values, tod, dow = payload
+        return core.observe(values, tod, dow)
+    if op == "forecast":
+        return core.forecast(payload[0])
+    if op == "publish":
+        bundle, version, activate = payload
+        return core.registry.publish(bundle, version=version, activate=activate)
+    if op == "activate":
+        core.registry.activate(payload[0])
+        return None
+    if op == "telemetry":
+        return core.telemetry_report()
+    raise ValueError(f"unknown transport op {op!r}")
+
+
+class LoopbackTransport(WorkerTransport):
+    """In-process worker: ops run inline on a locally built core."""
+
+    def __init__(self, bundle, version: str = "v1", config: ServeConfig | None = None) -> None:
+        self.core = _build_core(bundle, version, config)
+        self._result = None
+        self._pending = False
+
+    def post(self, op: str, payload: tuple = ()) -> None:
+        if self._pending:
+            raise TransportError("loopback transport already has a request in flight")
+        self._pending = True
+        self._result = _apply(self.core, op, payload)
+
+    def wait(self):
+        if not self._pending:
+            raise TransportError("no request in flight")
+        self._pending = False
+        result, self._result = self._result, None
+        return result
+
+    def close(self) -> None:
+        self.core.close()
+
+
+def _worker_main(conn, bundle, version: str, config: ServeConfig | None) -> None:
+    """Shard worker process body: serve ops from the pipe until ``stop``.
+
+    Every op is answered exactly once — ``("ok", value)`` or
+    ``("error", exception)`` — so the parent's ``wait`` never hangs on a
+    healthy worker.  ``stop`` acknowledges, then drains the core (the
+    micro-batcher thread joins) before the process exits, so an in-flight
+    batch finishes rather than being torn mid-forward.
+    """
+    core = _build_core(bundle, version, config)
+    try:
+        while True:
+            try:
+                op, payload = conn.recv()
+            except (EOFError, OSError):
+                break
+            if op == "stop":
+                conn.send(("ok", None))
+                break
+            try:
+                conn.send(("ok", _apply(core, op, payload)))
+            except BaseException as error:  # answered, not lost — router degrades
+                conn.send(("error", error))
+    finally:
+        core.close()
+        conn.close()
+
+
+class ProcessTransport(WorkerTransport):
+    """One shard worker in its own process, spoken to over a duplex pipe."""
+
+    def __init__(
+        self,
+        bundle,
+        version: str = "v1",
+        config: ServeConfig | None = None,
+        *,
+        request_timeout_s: float = 60.0,
+        context: str | None = None,
+    ) -> None:
+        ctx = mp.get_context(context) if context else mp.get_context()
+        self._conn, child = ctx.Pipe(duplex=True)
+        self.request_timeout_s = request_timeout_s
+        self._lock = threading.Lock()
+        self._pending = False
+        self._closed = False
+        self._broken = False
+        self.process = ctx.Process(
+            target=_worker_main,
+            args=(child, bundle, version, config),
+            name="repro-serve-shard",
+            daemon=True,
+        )
+        self.process.start()
+        child.close()  # parent keeps one end only
+
+    def post(self, op: str, payload: tuple = ()) -> None:
+        with self._lock:
+            if self._closed or self._broken:
+                raise TransportError("transport is closed")
+            if self._pending:
+                raise TransportError("process transport already has a request in flight")
+            try:
+                self._conn.send((op, payload))
+            except (BrokenPipeError, OSError) as error:
+                raise TransportError(f"shard worker is gone: {error}") from error
+            self._pending = True
+
+    def wait(self):
+        with self._lock:
+            if not self._pending:
+                raise TransportError("no request in flight")
+            self._pending = False
+            if not self._conn.poll(self.request_timeout_s):
+                self._broken = True  # a late reply would desync the pipe
+                raise TransportError(
+                    f"shard worker did not answer within {self.request_timeout_s}s"
+                )
+            try:
+                status, value = self._conn.recv()
+            except (EOFError, OSError) as error:
+                self._broken = True
+                raise TransportError(f"shard worker died mid-request: {error}") from error
+        if status == "error":
+            raise value
+        return value
+
+    def close(self) -> None:
+        """Stop the worker: ack'd stop, join, hard-kill only as last resort."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            try:
+                if not self._broken:
+                    self._conn.send(("stop", ()))
+                    if self._conn.poll(_STOP_TIMEOUT_S):
+                        self._conn.recv()
+            except (BrokenPipeError, EOFError, OSError):
+                pass  # worker already gone
+            finally:
+                self._conn.close()
+        self.process.join(timeout=_STOP_TIMEOUT_S)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=_STOP_TIMEOUT_S)

@@ -43,10 +43,11 @@ class TestGoldenFixture:
 
     def test_every_rule_fires_at_least_once(self):
         rules = {f.rule for f in lint_file(FIXTURE)}
-        # R007 is scoped to the data/training packages and R008 to the serve
-        # package, so neither can fire on the fixture's path;
-        # TestPerSampleLoops and TestServeForwards cover them in place.
-        assert rules == set(LINT_RULES) - {"R007", "R008"}
+        # R007 is scoped to the data/training packages, R008 to the serve
+        # package and R009 to the sharded-serving modules, so none of them
+        # can fire on the fixture's path; TestPerSampleLoops,
+        # TestServeForwards and TestScaleForwards cover them in place.
+        assert rules == set(LINT_RULES) - {"R007", "R008", "R009"}
 
     def test_suppressed_lines_do_not_appear(self):
         lines = {f.line for f in lint_file(FIXTURE)}
@@ -206,6 +207,43 @@ class TestServeForwards:
         assert self._lint(tmp_path, "src/repro/serve/debug.py", body) == []
 
 
+class TestScaleForwards:
+    """R009: no model forwards in the sharded serving modules."""
+
+    def _lint(self, tmp_path: Path, rel: str, body: str):
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(body)
+        return [f.rule for f in lint_file(path, relative_to=tmp_path)]
+
+    def test_forward_in_router_is_r009_not_r008(self, tmp_path):
+        body = "def answer(model, x, tod, dow):\n    return model(x, tod, dow)\n"
+        assert self._lint(tmp_path, "src/repro/serve/router.py", body) == ["R009"]
+
+    def test_forward_in_transport_flagged(self, tmp_path):
+        body = "def answer(self, x, tod, dow):\n    return self.model.forward(x, tod, dow)\n"
+        assert self._lint(tmp_path, "src/repro/serve/transport.py", body) == ["R009"]
+
+    def test_instantiate_and_call_flagged(self, tmp_path):
+        body = "def answer(bundle, x, tod, dow):\n    return bundle.instantiate()(x, tod, dow)\n"
+        assert self._lint(tmp_path, "src/repro/serve/shard.py", body) == ["R009"]
+
+    def test_instantiate_without_call_passes(self, tmp_path):
+        body = "def template(bundle):\n    return bundle.instantiate_fresh()\n"
+        assert self._lint(tmp_path, "src/repro/serve/shard.py", body) == []
+
+    def test_plain_serve_module_still_reports_r008(self, tmp_path):
+        body = "def answer(model, x, tod, dow):\n    return model(x, tod, dow)\n"
+        assert self._lint(tmp_path, "src/repro/serve/engine.py", body) == ["R008"]
+
+    def test_suppression_is_honoured(self, tmp_path):
+        body = (
+            "def probe(model, x, tod, dow):\n"
+            "    return model(x, tod, dow)  # lint: disable=R009\n"
+        )
+        assert self._lint(tmp_path, "src/repro/serve/loadgen.py", body) == []
+
+
 class TestLintPaths:
     def test_repo_head_is_clean(self):
         findings = lint_paths(root=REPO_ROOT)
@@ -227,6 +265,7 @@ class TestRuleTable:
     def test_rules_are_documented(self):
         assert set(LINT_RULES) == {
             "R001", "R002", "R003", "R004", "R005", "R006", "R007", "R008",
+            "R009",
         }
         for rule, description in LINT_RULES.items():
             assert description, rule

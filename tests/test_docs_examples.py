@@ -8,7 +8,12 @@ Extracts fenced code blocks from ``docs/*.md``, ``README.md`` and
   *execute* — renamed or removed exports fail here;
 * every ``repro <subcommand>`` / ``python -m repro <subcommand>`` in any
   fenced block must be a real CLI subcommand;
-* every ``make <target>`` in any fenced block must exist in the Makefile.
+* every ``make <target>`` in any fenced block must exist in the Makefile;
+* every Python block in the *executed* docs (``EXECUTED_DOCS``, currently
+  ``docs/scaling.md`` and ``docs/serving.md``) must actually **run**, in
+  file order, sharing one namespace per file — those pages are written as
+  sequential, self-contained sessions, so drifted behaviour (not just
+  drifted names) fails here.
 
 Run via ``make docs-check`` (which also runs the API-quality gates).
 """
@@ -76,6 +81,28 @@ def test_cli_subcommands_in_docs_exist():
         for block in ANY_FENCE.findall(path.read_text()):
             for command in CLI_INVOCATION.findall(block):
                 assert command in known, f"{path.name}: unknown subcommand {command!r}"
+
+
+# Docs written as sequential runnable sessions: every ```python block is
+# executed top to bottom in one shared namespace per file.
+EXECUTED_DOCS = ("scaling.md", "serving.md")
+
+
+@pytest.mark.parametrize("name", EXECUTED_DOCS)
+def test_doc_snippets_execute(name, tmp_path, monkeypatch):
+    """The executed docs' Python blocks must run end to end, in order."""
+    path = ROOT / "docs" / name
+    blocks = PYTHON_FENCE.findall(path.read_text())
+    assert blocks, f"{name} has no fenced Python blocks to execute"
+    monkeypatch.chdir(tmp_path)  # anything a snippet writes stays out of the repo
+    namespace: dict = {}
+    for index, code in enumerate(blocks):
+        try:
+            exec(compile(code, f"{name}:block-{index}", "exec"), namespace)
+        except Exception as err:  # pragma: no cover - failure reporting
+            raise AssertionError(
+                f"{name} fenced block {index} failed to execute: {err!r}"
+            ) from err
 
 
 def test_make_targets_in_docs_exist():
