@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test test-faults bench bench-smoke bench-full serve-smoke serve-scale-smoke experiments examples clean docs-check profile lint check ci
+.PHONY: install test test-faults bench bench-smoke bench-full serve-smoke serve-scale-smoke experiments examples clean docs-check profile lint typecheck check check-tape ci
 
 install:
 	pip install -e .
@@ -16,11 +16,21 @@ docs-check:
 
 lint:
 	python -m repro lint
+	python tools/check_mypy.py
+
+typecheck:
+	python tools/check_mypy.py
 
 check:
 	python -m repro check
 
-ci: lint docs-check test-faults test bench-smoke serve-smoke serve-scale-smoke
+# Tape-IR audit smoke: record one forward+backward per zoo model on the
+# default preset and gate on zero mutation-hazard (T002) / dead-value (T003)
+# findings plus IR-vs-measured byte consistency (T001).
+check-tape:
+	python -m repro check tape --dataset metr-la-sim
+
+ci: lint docs-check test-faults test bench-smoke serve-smoke serve-scale-smoke check-tape
 
 profile:
 	python -m repro profile --dataset metr-la-sim --model d2stgnn --out BENCH_profile.json

@@ -34,7 +34,7 @@ class FCLSTM(nn.Module):
             x = Tensor(x)
         batch, steps, nodes, channels = x.shape
         folded = x.transpose(0, 2, 1, 3).reshape(batch * nodes, steps, channels)
-        _, (h, c) = self.encoder(folded)
+        _, (h, c) = self.encoder(folded, return_sequence=False)
         outputs = []
         current = Tensor.zeros((batch * nodes, self.out_channels))  # GO symbol
         for _ in range(self.horizon):

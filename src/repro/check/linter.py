@@ -1,6 +1,6 @@
 """AST linter with repo-specific rules the generic tools cannot express.
 
-Nine rules (R001–R009), each encoding an invariant this codebase relies on
+Ten rules (R001–R010), each encoding an invariant this codebase relies on
 for reproducibility or correctness — see ``docs/static-analysis.md`` for the
 full rationale table:
 
@@ -40,10 +40,18 @@ R009      no model forwards in the sharded serving modules (router,
           worker's micro-batcher; also catches invoking a freshly
           ``instantiate()``-d model directly, which R008's name
           heuristic cannot see
+R010      model forwards in the evaluation/serving entry points
+          (``evaluate_split``/``predict_split`` and the serving
+          micro-batcher) must run under ``inference_mode()`` (or
+          ``Module.inference()``) — an unguarded forward there records
+          graph nodes and pollutes the backward-tape cache (the PR 5
+          tape-hygiene invariant)
 ========  ==============================================================
 
 Suppression: append ``# lint: disable`` (all rules) or
-``# lint: disable=R004`` (one rule) to the offending line.
+``# lint: disable=R004`` (one rule) to the offending line.  Suppressed
+findings are not silently dropped: :class:`LintRun` carries them so
+``repro lint`` can report the suppression count while still exiting 0.
 
 The linter parses files with :mod:`ast` — it never imports them — so it is
 safe on any tree, and runs over :data:`DEFAULT_LINT_PATHS` in well under a
@@ -61,9 +69,12 @@ __all__ = [
     "DEFAULT_LINT_PATHS",
     "Finding",
     "LINT_RULES",
+    "LintRun",
     "format_findings",
     "lint_file",
+    "lint_file_report",
     "lint_paths",
+    "lint_paths_report",
 ]
 
 DEFAULT_LINT_PATHS = ("src", "examples", "benchmarks")
@@ -78,6 +89,7 @@ LINT_RULES = {
     "R007": "no per-sample Python loops over batch indices; use one vectorized gather",
     "R008": "no model forwards in repro.serve outside the micro-batcher",
     "R009": "no model forwards in the sharded serving modules; cross the transport as ops",
+    "R010": "evaluation/serving model forwards must run under inference_mode()",
 }
 
 # Paths (posix, repo-relative prefixes) where a rule legitimately does not
@@ -132,6 +144,17 @@ _SCALE_PATHS = (
     "src/repro/serve/loadgen.py",
 )
 _INSTANTIATE_NAMES = frozenset({"instantiate", "instantiate_fresh"})
+
+# R010: the inference entry points — split evaluation/prediction and the
+# serving micro-batcher (the one sanctioned forward site in repro.serve).
+# Forwards here must sit inside `with inference_mode():` (or the
+# `Module.inference()` shorthand) so no graph nodes are recorded and the
+# backward-tape cache stays clean.
+_INFERENCE_REQUIRED_PATHS = (
+    "src/repro/training/evaluation.py",
+    "src/repro/serve/microbatch.py",
+)
+_INFERENCE_CONTEXT_NAMES = frozenset({"inference_mode", "inference", "no_grad"})
 
 _SUPPRESS_RE = re.compile(r"#\s*lint:\s*disable(?:=(?P<rules>[\w,\s]+))?")
 
@@ -232,6 +255,8 @@ class _Visitor(ast.NodeVisitor):
             path.startswith(p) for p in _SERVE_PATHS
         ) and not any(path.startswith(p) for p in _SERVE_FORWARD_ALLOWED)
         self._scale_scoped = path in _SCALE_PATHS
+        self._inference_required = path in _INFERENCE_REQUIRED_PATHS
+        self._inference_depth = 0
 
     def _report(self, node: ast.AST, rule: str, message: str) -> None:
         self.findings.append(Finding(self.path, node.lineno, rule, message))
@@ -310,6 +335,18 @@ class _Visitor(ast.NodeVisitor):
                 "calling an instantiate() result runs a forward here; "
                 "forwards belong inside the worker's micro-batcher",
             )
+        # R010: forwards in the inference entry points must be guarded.
+        if (
+            self._inference_required
+            and self._inference_depth == 0
+            and self._is_model_forward(node)
+        ):
+            self._report(
+                node, "R010",
+                "model forward in an inference entry point outside "
+                "inference_mode(); wrap it in `with inference_mode():` "
+                "(or Module.inference())",
+            )
         # R006: truncating open() inside the state-persisting modules.
         if (
             self._persists_state
@@ -363,6 +400,30 @@ class _Visitor(ast.NodeVisitor):
             and isinstance(mode.value, str)
             and "w" in mode.value
         )
+
+    # -- R010 ----------------------------------------------------------
+    @staticmethod
+    def _is_inference_context(expr: ast.expr) -> bool:
+        """True for ``inference_mode()`` / ``model.inference()`` / ``no_grad()``."""
+        if not isinstance(expr, ast.Call):
+            return False
+        func = expr.func
+        if isinstance(func, ast.Name):
+            return func.id in _INFERENCE_CONTEXT_NAMES
+        return isinstance(func, ast.Attribute) and func.attr in _INFERENCE_CONTEXT_NAMES
+
+    def _visit_with(self, node) -> None:
+        guarded = self._inference_required and any(
+            self._is_inference_context(item.context_expr) for item in node.items
+        )
+        if guarded:
+            self._inference_depth += 1
+        self.generic_visit(node)
+        if guarded:
+            self._inference_depth -= 1
+
+    visit_With = _visit_with
+    visit_AsyncWith = _visit_with
 
     # -- R002 / R003 ---------------------------------------------------
     def visit_ClassDef(self, node: ast.ClassDef) -> None:
@@ -493,8 +554,28 @@ class _Visitor(ast.NodeVisitor):
         self.generic_visit(node)
 
 
-def lint_file(path: str | Path, *, relative_to: str | Path | None = None) -> list[Finding]:
-    """Lint one python file; returns surviving (non-suppressed) findings.
+@dataclass(frozen=True)
+class LintRun:
+    """Result of a lint pass: surviving findings plus what was suppressed.
+
+    ``findings`` decide the exit code; ``suppressed`` exist so a run where
+    every finding carries a ``# lint: disable`` still *reports* how much
+    was waved through instead of silently printing "clean".
+    """
+
+    findings: tuple[Finding, ...]
+    suppressed: tuple[Finding, ...]
+
+    @property
+    def ok(self) -> bool:
+        """True when no finding survived suppression (exit code 0)."""
+        return not self.findings
+
+
+def lint_file_report(
+    path: str | Path, *, relative_to: str | Path | None = None
+) -> LintRun:
+    """Lint one python file, keeping suppressed findings on the side.
 
     ``relative_to`` controls the repo-relative path used for reports and the
     R004/R005/R006 allowlists (defaults to the path as given).
@@ -505,14 +586,53 @@ def lint_file(path: str | Path, *, relative_to: str | Path | None = None) -> lis
     tree = ast.parse(source, filename=str(path))
     visitor = _Visitor(rel)
     visitor.visit(tree)
-    suppressed = _suppressed_rules(source.splitlines())
-    kept = []
+    suppressions = _suppressed_rules(source.splitlines())
+    kept: list[Finding] = []
+    silenced: list[Finding] = []
     for finding in visitor.findings:
-        rules = suppressed.get(finding.line, ())
+        rules = suppressions.get(finding.line, ())
         if rules is None or (rules and finding.rule in rules):
+            silenced.append(finding)
+        else:
+            kept.append(finding)
+    return LintRun(findings=tuple(kept), suppressed=tuple(silenced))
+
+
+def lint_file(path: str | Path, *, relative_to: str | Path | None = None) -> list[Finding]:
+    """Lint one python file; returns surviving (non-suppressed) findings."""
+    return list(lint_file_report(path, relative_to=relative_to).findings)
+
+
+def lint_paths_report(
+    paths: tuple[str, ...] | list[str] = DEFAULT_LINT_PATHS,
+    *,
+    root: str | Path = ".",
+) -> LintRun:
+    """Lint every ``*.py`` file under ``paths``, with suppression stats.
+
+    Missing paths are skipped, so the default set works from any checkout.
+    Both finding lists come back sorted by (path, line, rule).
+    """
+    root = Path(root)
+    findings: list[Finding] = []
+    suppressed: list[Finding] = []
+    for entry in paths:
+        base = root / entry
+        if base.is_file():
+            files = [base]
+        elif base.is_dir():
+            files = sorted(base.rglob("*.py"))
+        else:
             continue
-        kept.append(finding)
-    return kept
+        for file in files:
+            run = lint_file_report(file, relative_to=root)
+            findings.extend(run.findings)
+            suppressed.extend(run.suppressed)
+    key = lambda f: (f.path, f.line, f.rule)  # noqa: E731
+    return LintRun(
+        findings=tuple(sorted(findings, key=key)),
+        suppressed=tuple(sorted(suppressed, key=key)),
+    )
 
 
 def lint_paths(
@@ -520,27 +640,20 @@ def lint_paths(
     *,
     root: str | Path = ".",
 ) -> list[Finding]:
-    """Lint every ``*.py`` file under ``paths`` (relative to ``root``).
+    """Lint every ``*.py`` file under ``paths`` (relative to ``root``)."""
+    return list(lint_paths_report(paths, root=root).findings)
 
-    Missing paths are skipped, so the default set works from any checkout.
-    Findings come back sorted by (path, line, rule).
+
+def format_findings(findings: list[Finding], *, suppressed: int = 0) -> str:
+    """Human-readable report: one line per finding plus a summary line.
+
+    ``suppressed`` is the count of findings silenced by ``# lint:
+    disable`` comments; it is always mentioned in the summary when
+    non-zero, so a fully suppressed run does not masquerade as clean.
     """
-    root = Path(root)
-    findings: list[Finding] = []
-    for entry in paths:
-        base = root / entry
-        if base.is_file():
-            findings.extend(lint_file(base, relative_to=root))
-        elif base.is_dir():
-            for file in sorted(base.rglob("*.py")):
-                findings.extend(lint_file(file, relative_to=root))
-    return sorted(findings, key=lambda f: (f.path, f.line, f.rule))
-
-
-def format_findings(findings: list[Finding]) -> str:
-    """Human-readable report: one line per finding plus a summary line."""
+    note = f", {suppressed} suppressed" if suppressed else ""
     if not findings:
-        return "lint: clean"
+        return f"lint: clean{note}" if note else "lint: clean"
     lines = [finding.format() for finding in findings]
-    lines.append(f"lint: {len(findings)} finding(s)")
+    lines.append(f"lint: {len(findings)} finding(s){note}")
     return "\n".join(lines)

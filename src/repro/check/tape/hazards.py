@@ -1,0 +1,219 @@
+"""Alias/mutation-hazard (T002) and dead-value (T003) analyses.
+
+Both walk the symbolic :class:`~repro.check.tape.ir.TapeProgram`; neither
+executes anything.
+
+**Mutation hazards** are the static complement of
+``repro.check.guard_mutations``: a ``mutate`` instruction on a value that
+some forward instruction saved for backward, landing *between* that save
+and the corresponding backward instruction, means the backward pass would
+read a payload different from the one the forward pass computed with.
+Rebinds (``copy_`` swaps the array object) endanger only the mutated
+value itself — views made earlier keep the old buffer — while in-place
+writes corrupt the whole alias group sharing the storage.
+
+**Dead values** generalise the PR 2 analyzer's dead-parameter check to
+every recorded op: a forward instruction is *live* when its result
+reaches the loss (the backward seed) or an export read
+(``numpy()``/``item()``/``detach()``) through forward dataflow, including
+saved-for-backward edges.  Everything else is wasted compute and memory —
+the class of bug the dynamic analyzer caught in GWN/MTGNN/D²STGNN — and
+is reported as connected components so one forgotten branch shows up as
+one finding, not fifty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .ir import TapeProgram
+
+__all__ = ["MutationHazard", "DeadComponent", "find_mutation_hazards", "find_dead_values"]
+
+
+@dataclass
+class MutationHazard:
+    """One T002 finding: a save/mutate/backward-read interleaving."""
+
+    vid: int
+    label: str
+    kind: str  # "rebind" | "inplace"
+    mutate_index: int
+    forward_index: int
+    backward_index: int
+    forward_op: str
+
+    def message(self) -> str:
+        return (
+            f"{self.label} saved by {self.forward_op}@[{self.forward_index}] is "
+            f"{'rebound' if self.kind == 'rebind' else 'written in place'} at "
+            f"[{self.mutate_index}] before its backward read at [{self.backward_index}]"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "vid": self.vid,
+            "label": self.label,
+            "kind": self.kind,
+            "mutate_index": self.mutate_index,
+            "forward_index": self.forward_index,
+            "backward_index": self.backward_index,
+            "forward_op": self.forward_op,
+        }
+
+
+def find_mutation_hazards(program: TapeProgram) -> list[MutationHazard]:
+    """Every save → mutate → backward-read interleaving in the program."""
+    backward_of = program.backward_index_of()
+    saved_at: dict[int, list[int]] = {}
+    for instr in program.instructions:
+        if instr.phase == "forward":
+            for vid, _version in instr.saved:
+                saved_at.setdefault(vid, []).append(instr.index)
+    groups: dict[int, list[int]] = {}
+    for value in program.values:
+        groups.setdefault(program.owner(value.vid), []).append(value.vid)
+
+    hazards: list[MutationHazard] = []
+    reported: set[tuple[int, int, int]] = set()
+    for instr in program.instructions:
+        if instr.phase != "mutate":
+            continue
+        mutated = instr.uses[0]
+        if instr.kind == "inplace":
+            affected = groups.get(program.owner(mutated), [mutated])
+        else:
+            affected = [mutated]
+        for vid in affected:
+            for forward_index in saved_at.get(vid, ()):
+                backward_index = backward_of.get(forward_index)
+                if backward_index is None:
+                    continue
+                if not (forward_index < instr.index < backward_index):
+                    continue
+                key = (vid, forward_index, instr.index)
+                if key in reported:
+                    continue
+                reported.add(key)
+                hazards.append(
+                    MutationHazard(
+                        vid=vid,
+                        label=program.value(vid).label(),
+                        kind=instr.kind,
+                        mutate_index=instr.index,
+                        forward_index=forward_index,
+                        backward_index=backward_index,
+                        forward_op=program.instructions[forward_index].op,
+                    )
+                )
+    return hazards
+
+
+@dataclass
+class DeadComponent:
+    """One T003 finding: a connected subgraph of dead forward instructions."""
+
+    instruction_indices: list[int]
+    sink_indices: list[int] = field(default_factory=list)
+    nbytes: int = 0
+
+    def message(self, program: TapeProgram) -> str:
+        sinks = ", ".join(
+            f"{program.value(program.instructions[i].defs[0]).label()} = "
+            f"{program.instructions[i].op}"
+            for i in self.sink_indices[:3]
+        )
+        more = "" if len(self.sink_indices) <= 3 else ", ..."
+        return (
+            f"dead subgraph of {len(self.instruction_indices)} op(s), "
+            f"{self.nbytes} bytes, never reaches the loss or an export "
+            f"(sinks: {sinks}{more})"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "instruction_indices": self.instruction_indices,
+            "sink_indices": self.sink_indices,
+            "nbytes": self.nbytes,
+        }
+
+
+def find_dead_values(program: TapeProgram) -> list[DeadComponent]:
+    """Connected components of forward instructions that reach no root.
+
+    Roots are the loss value and every exported value; liveness propagates
+    backwards through forward uses *and* saved-for-backward stamps.
+    """
+    def_instr: dict[int, int] = {}
+    for instr in program.instructions:
+        if instr.phase == "forward":
+            def_instr[instr.defs[0]] = instr.index
+
+    roots = {program.loss_vid}
+    for instr in program.instructions:
+        if instr.phase == "export":
+            roots.update(instr.uses)
+
+    live: set[int] = set()
+    stack = [def_instr[vid] for vid in roots if vid in def_instr]
+    while stack:
+        index = stack.pop()
+        if index in live:
+            continue
+        live.add(index)
+        instr = program.instructions[index]
+        for vid in list(instr.uses) + [vid for vid, _ in instr.saved]:
+            producer = def_instr.get(vid)
+            if producer is not None and producer not in live:
+                stack.append(producer)
+
+    dead = [i for i in sorted(def_instr.values()) if i not in live]
+    if not dead:
+        return []
+
+    # Union-find over dead instructions sharing values.
+    parent = {i: i for i in dead}
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    def union(a: int, b: int) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[rb] = ra
+
+    dead_set = set(dead)
+    for index in dead:
+        instr = program.instructions[index]
+        for vid in instr.uses:
+            producer = def_instr.get(vid)
+            if producer in dead_set:
+                union(producer, index)
+
+    # Forward fan-out per value, to identify sinks (no forward consumer).
+    forward_use_count: dict[int, int] = {}
+    for instr in program.instructions:
+        if instr.phase == "forward":
+            # An op that saves its own output for backward (tanh, sigmoid,
+            # exp, ...) is not a consumer of it — only count other readers.
+            touched = set(instr.uses) | {vid for vid, _ in instr.saved}
+            for vid in touched - set(instr.defs):
+                forward_use_count[vid] = forward_use_count.get(vid, 0) + 1
+
+    components: dict[int, DeadComponent] = {}
+    for index in dead:
+        root = find(index)
+        component = components.get(root)
+        if component is None:
+            component = components[root] = DeadComponent(instruction_indices=[])
+        component.instruction_indices.append(index)
+        out_vid = program.instructions[index].defs[0]
+        value = program.value(out_vid)
+        if value.owns_storage:
+            component.nbytes += value.nbytes
+        if not forward_use_count.get(out_vid):
+            component.sink_indices.append(index)
+    return sorted(components.values(), key=lambda c: c.instruction_indices[0])

@@ -247,44 +247,64 @@ def cmd_profile(args) -> int:
 def cmd_lint(args) -> int:
     """``repro lint``: run the repo-specific AST linter.
 
-    Lints every python file under the given paths with the R001-R009 rules
-    (see ``docs/static-analysis.md``); exits 1 when any finding survives
-    suppression comments, so CI can gate on it.
+    Lints every python file under the given paths with the R001-R010 rules
+    (see ``docs/static-analysis.md``); exits 1 only when a finding survives
+    suppression comments, so CI can gate on it.  A run where everything is
+    ``# lint: disable``-suppressed exits 0 and reports the suppression
+    count instead of claiming to be clean.
     """
-    from .check import format_findings, lint_paths
+    from .check import format_findings, lint_paths_report
 
-    findings = lint_paths(tuple(args.paths), root=args.root)
+    run = lint_paths_report(tuple(args.paths), root=args.root)
     if args.json:
         print(json.dumps(
-            {"findings": [vars(f) for f in findings], "total": len(findings)}, indent=2
+            {
+                "findings": [vars(f) for f in run.findings],
+                "total": len(run.findings),
+                "suppressed": len(run.suppressed),
+            },
+            indent=2,
         ))
     else:
-        print(format_findings(findings))
-    return 1 if findings else 0
+        print(format_findings(list(run.findings), suppressed=len(run.suppressed)))
+    return 0 if run.ok else 1
 
 
 def cmd_check(args) -> int:
-    """``repro check``: static model analysis over the registered model zoo.
+    """``repro check [models|tape]``: static analysis over the model zoo.
 
-    Runs every neural model (or ``--model``) against dataset presets on a
-    probe batch and reports shape-contract breaks, dead parameters and
-    float64 drift; exits 1 on findings.  ``--json`` writes the
-    machine-readable report (schema ``repro.check.models/v1``).
+    ``models`` (the default) runs every neural model (or ``--model``)
+    against dataset presets on a probe batch and reports shape-contract
+    breaks, dead parameters and float64 drift.  ``tape`` records one
+    forward+backward per (model, preset) and runs the tape-IR audit —
+    lifetime/arena consistency (T001), mutation hazards (T002), dead
+    values (T003) and fusion candidates (T004, informational).  Both exit
+    1 on error findings; ``--json`` prints the machine-readable report
+    (``repro.check.models/v1`` / ``repro.check.tape/v1``) and ``--out``
+    additionally writes it to a file.
     """
-    from .check import analyze_models, format_model_report, model_report_dict
-
+    models = [args.model] if args.model else None
+    datasets = [args.dataset] if args.dataset else None
     try:
-        checks = analyze_models(
-            models=[args.model] if args.model else None,
-            datasets=[args.dataset] if args.dataset else None,
-        )
+        if args.target == "tape":
+            from .check import audit_models, format_tape_report, tape_report_dict
+
+            audits = audit_models(models=models, datasets=datasets)
+            report = tape_report_dict(audits)
+            text = format_tape_report(audits)
+        else:
+            from .check import analyze_models, format_model_report, model_report_dict
+
+            checks = analyze_models(models=models, datasets=datasets)
+            report = model_report_dict(checks)
+            text = format_model_report(checks)
     except (KeyError, ValueError) as error:
         raise SystemExit(error.args[0]) from None
-    report = model_report_dict(checks)
-    if args.json:
-        print(json.dumps(report, indent=2))
-    else:
-        print(format_model_report(checks))
+    print(json.dumps(report, indent=2) if args.json else text)
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"-> {args.out}")
     return 1 if report["findings_total"] else 0
 
 
@@ -542,20 +562,27 @@ def build_parser() -> argparse.ArgumentParser:
                         "with --train-step)")
     p.set_defaults(fn=cmd_profile)
 
-    p = sub.add_parser("lint", help="run the repo-specific AST linter (rules R001-R009)")
+    p = sub.add_parser("lint", help="run the repo-specific AST linter (rules R001-R010)")
     p.add_argument("paths", nargs="*", default=list(DEFAULT_LINT_PATHS),
                    help="files or directories to lint (default: src examples benchmarks)")
     p.add_argument("--root", default=".", help="repository root the paths are relative to")
     p.add_argument("--json", action="store_true", help="machine-readable output")
     p.set_defaults(fn=cmd_lint)
 
-    p = sub.add_parser("check", help="static model analysis: shapes, dtypes, dead parameters")
+    p = sub.add_parser("check", help="static analysis: model zoo checks or the tape-IR audit")
+    p.add_argument("target", nargs="?", default="models", choices=("models", "tape"),
+                   help="'models' = shapes/dtypes/dead parameters (default); "
+                        "'tape' = record a step per pair and audit the tape IR "
+                        "(rules T001-T004)")
     p.add_argument("--model", default=None,
                    help="analyze one model (case-insensitive; default: all neural models)")
     p.add_argument("--dataset", default=None, choices=sorted(PRESETS),
                    help="analyze against one preset (default: all presets)")
     p.add_argument("--json", action="store_true",
-                   help="machine-readable output (schema repro.check.models/v1)")
+                   help="machine-readable output (schema repro.check.models/v1 "
+                        "or repro.check.tape/v1)")
+    p.add_argument("--out", default=None,
+                   help="also write the machine-readable report to this path")
     p.set_defaults(fn=cmd_check)
 
     return parser

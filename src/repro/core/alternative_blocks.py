@@ -147,12 +147,19 @@ class TCNInherentBlock(nn.Module):
             self.direct_head = nn.Linear(hidden_dim, horizon * hidden_dim)
         self.backcast = nn.MLP([hidden_dim, hidden_dim, hidden_dim])
 
-    def forward(self, x: Tensor) -> tuple[Tensor, Tensor, Tensor]:
-        """``x``: (B, T, N, d); returns (hidden, forecast, backcast)."""
+    def forward(self, x: Tensor, *, return_hidden: bool = True) -> tuple[Tensor, Tensor, Tensor]:
+        """``x``: (B, T, N, d); returns (hidden, forecast, backcast).
+
+        ``return_hidden=False`` is part of the inherent-block contract (the
+        decoupled layer chains on the residual, not the hidden states); here
+        the hidden slot is the raw TCN stack output the forecast/backcast
+        branches consume anyway, so skipping it costs nothing either way.
+        """
         hidden = x
         for layer in self.layers:
             hidden = layer(hidden) + hidden  # residual TCN stack
-        return hidden, self._forecast(hidden), self.backcast(hidden)
+        result = hidden if return_hidden else None
+        return result, self._forecast(hidden), self.backcast(hidden)
 
     def _forecast(self, hidden: Tensor) -> Tensor:
         batch, steps, nodes, dim = hidden.shape

@@ -21,6 +21,8 @@ flags reproduce the paper's framework ablations (Table 5): *switch*
 
 from __future__ import annotations
 
+import inspect
+
 from .. import nn
 from ..tensor import Tensor
 from .diffusion_block import DiffusionBlock
@@ -28,6 +30,15 @@ from .gate import EstimationGate
 from .inherent_block import InherentBlock
 
 __all__ = ["DecoupledLayer", "CoupledLayer"]
+
+
+def _accepts_return_hidden(block: nn.Module) -> bool:
+    """True when a block's forward offers the ``return_hidden`` opt-out."""
+    try:
+        parameters = inspect.signature(block.forward).parameters
+    except (TypeError, ValueError):
+        return False
+    return "return_hidden" in parameters
 
 
 class DecoupledLayer(nn.Module):
@@ -51,6 +62,12 @@ class DecoupledLayer(nn.Module):
         self.use_residual = use_residual
         if use_gate:
             self.gate = EstimationGate(embed_dim, hidden_dim)
+        # The layer chains on the residual, never on the inherent hidden
+        # states, so blocks offering a ``return_hidden`` opt-out get it
+        # passed (skipping dead ops, tape-audit rule T003).  Probed rather
+        # than required: the block contract stays "anything returning
+        # (hidden, forecast, backcast)".
+        self._inherent_skips_hidden = _accepts_return_hidden(inherent)
 
     def forward(
         self,
@@ -71,6 +88,8 @@ class DecoupledLayer(nn.Module):
             return self.diffusion(inp, supports)
 
         def run_inherent(inp: Tensor):
+            if self._inherent_skips_hidden:
+                return self.inherent(inp, return_hidden=False)
             return self.inherent(inp)
 
         if self.diffusion_first:

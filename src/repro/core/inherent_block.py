@@ -62,12 +62,16 @@ class InherentBlock(nn.Module):
             self.direct_head = nn.Linear(hidden_dim, horizon * hidden_dim)
         self.backcast = nn.MLP([hidden_dim, hidden_dim, hidden_dim]) if use_backcast else None
 
-    def forward(self, x: Tensor) -> tuple[Tensor, Tensor, Tensor]:
+    def forward(self, x: Tensor, *, return_hidden: bool = True) -> tuple[Tensor, Tensor, Tensor]:
         """Process inherent input (B, T, N, d).
 
         Returns ``(hidden, forecast, backcast)`` with shapes
         (B, T, N, d), (B, horizon, N, d) and (B, T, N, d); the backcast is
         ``None`` when the block was built with ``use_backcast=False``.
+        Callers that discard the hidden slot (the decoupled layer, which
+        chains on the residual instead) pass ``return_hidden=False`` to
+        skip its reshape/transpose — dead ops the tape audit (rule T003)
+        rejects.
         """
         batch, steps, num_nodes, dim = x.shape
         folded = x.transpose(0, 2, 1, 3).reshape(batch * num_nodes, steps, dim)
@@ -89,7 +93,8 @@ class InherentBlock(nn.Module):
         backcast = (
             unfold(self.backcast(hidden_seq), steps) if self.backcast is not None else None
         )
-        return unfold(hidden_seq, steps), unfold(forecast, self.horizon), backcast
+        hidden = unfold(hidden_seq, steps) if return_hidden else None
+        return hidden, unfold(forecast, self.horizon), backcast
 
     def _forecast(self, hidden_seq: Tensor, gru_state: Tensor) -> Tensor:
         if not self.autoregressive:

@@ -103,8 +103,19 @@ class LSTM(Module):
         self.cell = LSTMCell(input_dim, hidden_dim)
 
     def forward(
-        self, x: Tensor, state: tuple[Tensor, Tensor] | None = None
-    ) -> tuple[Tensor, tuple[Tensor, Tensor]]:
+        self,
+        x: Tensor,
+        state: tuple[Tensor, Tensor] | None = None,
+        *,
+        return_sequence: bool = True,
+    ) -> tuple[Tensor | None, tuple[Tensor, Tensor]]:
+        """Unroll over ``x``; returns ``(sequence, (h, c))``.
+
+        Callers that only continue from the final state (the FC-LSTM
+        encoder) pass ``return_sequence=False`` and get ``None`` instead of
+        the stacked sequence — stacking hidden states nobody reads is dead
+        compute the tape audit (rule T003) rejects.
+        """
         batch, steps, _ = x.shape
         if state is None:
             h = Tensor.zeros((batch, self.hidden_dim))
@@ -114,5 +125,7 @@ class LSTM(Module):
         outputs = []
         for t in range(steps):
             h, c = self.cell(x[:, t, :], (h, c))
-            outputs.append(h)
-        return Tensor.stack(outputs, axis=1), (h, c)
+            if return_sequence:
+                outputs.append(h)
+        sequence = Tensor.stack(outputs, axis=1) if return_sequence else None
+        return sequence, (h, c)

@@ -7,6 +7,10 @@ against (see ``docs/observability.md``):
   while active, recording per-op count / inclusive wall time / bytes for
   forward and backward passes plus a named-scope module breakdown.  Zero
   overhead when not active.
+* :class:`MemoryWatermark` — a context manager that measures allocated /
+  live / peak bytes of op and gradient buffers via weak references, with
+  accounting that matches the static tape-IR model in
+  :mod:`repro.check.tape` (its T001 consistency baseline).
 * :class:`MetricsSink` and friends — pluggable JSON-lines destinations for
   the trainer's per-epoch telemetry (throughput, gradient norms, memory
   high-water mark, scheduled-sampling state).
@@ -17,6 +21,7 @@ on the command line, ``benchmarks/bench_profile_ops.py`` for the tracked
 ``BENCH_profile.json`` baseline.
 """
 
+from .memory import MemoryWatermark
 from .profiler import OpStat, Profiler, ScopeStat, annotate_model_scopes
 from .sinks import FileSink, MemorySink, MetricsSink, StdoutSink, read_jsonl
 from .stepbench import (
@@ -40,6 +45,7 @@ __all__ = [
     "FAST_CONFIG",
     "FileSink",
     "MemorySink",
+    "MemoryWatermark",
     "MetricsSink",
     "OpStat",
     "Profiler",

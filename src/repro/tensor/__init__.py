@@ -14,10 +14,13 @@ from .tensor import (
 )
 from . import functional
 from .gradcheck import gradcheck, numerical_gradient
+from .trace import GraphTracer, TraceListener
 
 __all__ = [
     "DEFAULT_DTYPE",
+    "GraphTracer",
     "Tensor",
+    "TraceListener",
     "backward_tape_stats",
     "configure_fast_backward",
     "fast_backward_config",

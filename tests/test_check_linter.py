@@ -8,9 +8,12 @@ from repro.check import (
     DEFAULT_LINT_PATHS,
     Finding,
     LINT_RULES,
+    LintRun,
     format_findings,
     lint_file,
+    lint_file_report,
     lint_paths,
+    lint_paths_report,
 )
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -44,10 +47,11 @@ class TestGoldenFixture:
     def test_every_rule_fires_at_least_once(self):
         rules = {f.rule for f in lint_file(FIXTURE)}
         # R007 is scoped to the data/training packages, R008 to the serve
-        # package and R009 to the sharded-serving modules, so none of them
-        # can fire on the fixture's path; TestPerSampleLoops,
-        # TestServeForwards and TestScaleForwards cover them in place.
-        assert rules == set(LINT_RULES) - {"R007", "R008", "R009"}
+        # package, R009 to the sharded-serving modules and R010 to the
+        # inference entry points, so none of them can fire on the fixture's
+        # path; TestPerSampleLoops, TestServeForwards, TestScaleForwards,
+        # TestInferenceForwards and TestPerRuleFixtures cover them in place.
+        assert rules == set(LINT_RULES) - {"R007", "R008", "R009", "R010"}
 
     def test_suppressed_lines_do_not_appear(self):
         lines = {f.line for f in lint_file(FIXTURE)}
@@ -183,7 +187,13 @@ class TestServeForwards:
         assert self._lint(tmp_path, "src/repro/serve/cache.py", body) == ["R008"]
 
     def test_microbatcher_is_allowlisted(self, tmp_path):
-        body = "def run_batch(model, x, tod, dow):\n    return model(x, tod, dow)\n"
+        # The micro-batcher is the one sanctioned forward site (no R008), but
+        # since R010 its forward additionally has to run under a guard.
+        body = (
+            "def run_batch(model, x, tod, dow):\n"
+            "    with model.inference():\n"
+            "        return model(x, tod, dow)\n"
+        )
         assert self._lint(tmp_path, "src/repro/serve/microbatch.py", body) == []
 
     def test_outside_serve_is_exempt(self, tmp_path):
@@ -244,6 +254,241 @@ class TestScaleForwards:
         assert self._lint(tmp_path, "src/repro/serve/loadgen.py", body) == []
 
 
+class TestInferenceForwards:
+    """R010: inference entry points must forward under inference_mode()."""
+
+    def _lint(self, tmp_path: Path, rel: str, body: str):
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(body)
+        return [f.rule for f in lint_file(path, relative_to=tmp_path)]
+
+    def test_unguarded_forward_in_evaluation_flagged(self, tmp_path):
+        body = "def evaluate_split(model, x, tod, dow):\n    return model(x, tod, dow)\n"
+        assert self._lint(tmp_path, "src/repro/training/evaluation.py", body) == ["R010"]
+
+    def test_unguarded_forward_in_microbatcher_flagged(self, tmp_path):
+        # microbatch.py is R008-allowlisted — the forward is *supposed* to
+        # happen there — but it still has to be guarded, so R010 fires alone.
+        body = "def run_batch(model, x, tod, dow):\n    return model(x, tod, dow)\n"
+        assert self._lint(tmp_path, "src/repro/serve/microbatch.py", body) == ["R010"]
+
+    def test_inference_mode_guard_passes(self, tmp_path):
+        body = (
+            "from repro.tensor import inference_mode\n"
+            "def evaluate_split(model, x, tod, dow):\n"
+            "    with inference_mode():\n"
+            "        return model(x, tod, dow)\n"
+        )
+        assert self._lint(tmp_path, "src/repro/training/evaluation.py", body) == []
+
+    def test_module_inference_shorthand_passes(self, tmp_path):
+        body = (
+            "def run_batch(model, x, tod, dow):\n"
+            "    with model.inference():\n"
+            "        return model(x, tod, dow)\n"
+        )
+        assert self._lint(tmp_path, "src/repro/serve/microbatch.py", body) == []
+
+    def test_guard_does_not_leak_past_the_with_block(self, tmp_path):
+        body = (
+            "from repro.tensor import inference_mode\n"
+            "def evaluate_split(model, x, tod, dow):\n"
+            "    with inference_mode():\n"
+            "        pass\n"
+            "    return model(x, tod, dow)\n"
+        )
+        assert self._lint(tmp_path, "src/repro/training/evaluation.py", body) == ["R010"]
+
+    def test_unscoped_modules_are_exempt(self, tmp_path):
+        body = "def step(model, x, tod, dow):\n    return model(x, tod, dow)\n"
+        assert self._lint(tmp_path, "src/repro/training/loop.py", body) == []
+
+    def test_unrelated_with_is_not_a_guard(self, tmp_path):
+        body = (
+            "def evaluate_split(model, x, tod, dow, lock):\n"
+            "    with lock:\n"
+            "        return model(x, tod, dow)\n"
+        )
+        assert self._lint(tmp_path, "src/repro/training/evaluation.py", body) == ["R010"]
+
+    def test_suppression_is_honoured(self, tmp_path):
+        body = (
+            "def probe(model, x, tod, dow):\n"
+            "    return model(x, tod, dow)  # lint: disable=R010\n"
+        )
+        assert self._lint(tmp_path, "src/repro/training/evaluation.py", body) == []
+
+
+# One (scoped path, violating body, compliant body) triple per rule: the
+# violating body must fire exactly that rule at that path, the compliant
+# body must be silent, and a `# lint: disable=<rule>` on the violating line
+# must silence it while still being counted as suppressed.
+RULE_FIXTURES = {
+    "R001": (
+        "src/repro/nn/anything.py",
+        "import numpy as np\nvalue = np.random.rand(3)\n",
+        "from repro.utils.seed import get_rng\nvalue = get_rng().random(3)\n",
+    ),
+    "R002": (
+        "src/repro/nn/anything.py",
+        "class Bad(Module):\n    def __init__(self):\n        self.x = 1\n",
+        "class Good(Module):\n    def __init__(self):\n        super().__init__()\n",
+    ),
+    "R003": (
+        "src/repro/nn/anything.py",
+        "class Bad(Module):\n"
+        "    def __init__(self):\n"
+        "        super().__init__()\n"
+        "        self.w = init.xavier_uniform(3, 3)\n",
+        "class Good(Module):\n"
+        "    def __init__(self):\n"
+        "        super().__init__()\n"
+        "        self.w = Parameter(init.xavier_uniform(3, 3))\n",
+    ),
+    "R004": (
+        "src/repro/nn/anything.py",
+        "def clobber(param, update):\n    param.data = update\n",
+        "def apply(param, update):\n    param.copy_(update)\n",
+    ),
+    "R005": (
+        "src/repro/nn/anything.py",
+        "import time\nstamp = time.time()\n",
+        "from repro.utils.timer import now\nstamp = now()\n",
+    ),
+    "R006": (
+        "src/repro/nn/anything.py",
+        "import numpy as np\n\ndef save(path, arrays):\n    np.savez(path, **arrays)\n",
+        "from repro.utils.atomic import atomic_savez\n\n"
+        "def save(path, arrays):\n    atomic_savez(path, **arrays)\n",
+    ),
+    "R007": (
+        "src/repro/data/anything.py",
+        "def gather(self, indices):\n    return [self.sample(i) for i in indices]\n",
+        "def gather(self, indices):\n    return self.windows[indices]\n",
+    ),
+    "R008": (
+        "src/repro/serve/anything.py",
+        "def answer(model, x, tod, dow):\n    return model(x, tod, dow)\n",
+        "def answer(batcher, request):\n    return batcher.submit(request)\n",
+    ),
+    "R009": (
+        "src/repro/serve/router.py",
+        "def answer(bundle, x, tod, dow):\n    return bundle.instantiate()(x, tod, dow)\n",
+        "def answer(transport, op):\n    return transport.send(op)\n",
+    ),
+    "R010": (
+        "src/repro/training/evaluation.py",
+        "def evaluate_split(model, x, tod, dow):\n    return model(x, tod, dow)\n",
+        "def evaluate_split(model, x, tod, dow):\n"
+        "    with inference_mode():\n"
+        "        return model(x, tod, dow)\n",
+    ),
+}
+
+
+class TestPerRuleFixtures:
+    """Every rule has a positive, a negative and a suppressed fixture."""
+
+    def _install(self, tmp_path: Path, rel: str, body: str) -> Path:
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(body)
+        return path
+
+    def test_every_rule_has_a_fixture(self):
+        assert set(RULE_FIXTURES) == set(LINT_RULES)
+
+    @pytest.mark.parametrize("rule", sorted(RULE_FIXTURES))
+    def test_positive_fires_exactly_that_rule(self, tmp_path, rule):
+        rel, bad, _ = RULE_FIXTURES[rule]
+        path = self._install(tmp_path, rel, bad)
+        assert [f.rule for f in lint_file(path, relative_to=tmp_path)] == [rule]
+
+    @pytest.mark.parametrize("rule", sorted(RULE_FIXTURES))
+    def test_negative_is_silent(self, tmp_path, rule):
+        rel, _, good = RULE_FIXTURES[rule]
+        path = self._install(tmp_path, rel, good)
+        assert lint_file(path, relative_to=tmp_path) == []
+
+    @pytest.mark.parametrize("rule", sorted(RULE_FIXTURES))
+    def test_suppression_moves_the_finding_not_drops_it(self, tmp_path, rule):
+        rel, bad, _ = RULE_FIXTURES[rule]
+        lines = bad.splitlines()
+        flagged = lint_file(
+            self._install(tmp_path, rel, bad), relative_to=tmp_path
+        )[0].line
+        lines[flagged - 1] += f"  # lint: disable={rule}"
+        path = self._install(tmp_path, rel, "\n".join(lines) + "\n")
+        run = lint_file_report(path, relative_to=tmp_path)
+        assert run.findings == ()
+        assert [f.rule for f in run.suppressed] == [rule]
+        assert run.ok
+
+
+class TestSuppressionReporting:
+    """Exit-code semantics: fully-suppressed runs pass but are counted."""
+
+    def test_fully_suppressed_run_is_ok(self, tmp_path):
+        body = (
+            "import time\n"
+            "a = time.time()  # lint: disable=R005\n"
+            "b = time.perf_counter()  # lint: disable\n"
+        )
+        src = tmp_path / "src" / "repro" / "x.py"
+        src.parent.mkdir(parents=True)
+        src.write_text(body)
+        run = lint_paths_report(("src",), root=tmp_path)
+        assert isinstance(run, LintRun)
+        assert run.ok and run.findings == ()
+        assert len(run.suppressed) == 2
+
+    def test_mixed_run_is_not_ok(self, tmp_path):
+        body = (
+            "import time\n"
+            "a = time.time()  # lint: disable=R005\n"
+            "b = time.perf_counter()\n"
+        )
+        src = tmp_path / "src" / "repro" / "x.py"
+        src.parent.mkdir(parents=True)
+        src.write_text(body)
+        run = lint_paths_report(("src",), root=tmp_path)
+        assert not run.ok
+        assert [f.rule for f in run.findings] == ["R005"]
+        assert len(run.suppressed) == 1
+
+    def test_wrong_rule_suppression_does_not_silence(self, tmp_path):
+        body = "import time\na = time.time()  # lint: disable=R001\n"
+        src = tmp_path / "src" / "repro" / "x.py"
+        src.parent.mkdir(parents=True)
+        src.write_text(body)
+        run = lint_paths_report(("src",), root=tmp_path)
+        assert [f.rule for f in run.findings] == ["R005"]
+        assert run.suppressed == ()
+
+    def test_format_mentions_suppression_count(self):
+        assert format_findings([], suppressed=2) == "lint: clean, 2 suppressed"
+        report = format_findings([Finding("a.py", 1, "R001", "msg")], suppressed=1)
+        assert report.endswith("lint: 1 finding(s), 1 suppressed")
+
+    def test_cli_exit_code_tracks_ok(self, tmp_path, capsys, monkeypatch):
+        import argparse
+
+        from repro.cli import cmd_lint
+
+        body = "import time\na = time.time()  # lint: disable\n"
+        src = tmp_path / "src" / "repro" / "x.py"
+        src.parent.mkdir(parents=True)
+        src.write_text(body)
+        monkeypatch.chdir(tmp_path)
+        args = argparse.Namespace(paths=["src"], root=".", json=False)
+        assert cmd_lint(args) == 0
+        out = capsys.readouterr().out
+        assert "1 suppressed" in out
+        src.write_text("import time\na = time.time()\n")
+        assert cmd_lint(args) == 1
+
+
 class TestLintPaths:
     def test_repo_head_is_clean(self):
         findings = lint_paths(root=REPO_ROOT)
@@ -265,7 +510,7 @@ class TestRuleTable:
     def test_rules_are_documented(self):
         assert set(LINT_RULES) == {
             "R001", "R002", "R003", "R004", "R005", "R006", "R007", "R008",
-            "R009",
+            "R009", "R010",
         }
         for rule, description in LINT_RULES.items():
             assert description, rule

@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Baseline-gated mypy runner for the typed subset (repro.check, repro.serve).
+
+Semantics:
+
+* mypy not installed    -> print a skip note, exit 0 (the container image is
+                           fixed; the gate must not require new packages).
+* errors == baseline    -> exit 0.
+* new errors            -> print them, exit 1.
+* fixed errors          -> exit 0 with a note suggesting ``--update`` so the
+                           baseline only ever shrinks deliberately.
+* ``--update``          -> rewrite tools/mypy_baseline.txt from the current run.
+
+The baseline stores one normalized ``path:ERRORCODE: message`` line per
+finding (line numbers stripped, so pure code motion does not churn it).
+Comment lines (``#``) and blanks are ignored.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+BASELINE = REPO / "tools" / "mypy_baseline.txt"
+CONFIG = REPO / "mypy.ini"
+
+# "src/repro/check/tape/ir.py:123: error: ..."  ->  drop the line number so
+# unrelated edits above a finding do not invalidate the baseline entry.
+_LINE_RE = re.compile(r"^(?P<path>[^:]+\.py):\d+(?::\d+)?: (?P<rest>error: .*)$")
+
+
+def _normalize(raw_lines: list[str]) -> list[str]:
+    out = []
+    for line in raw_lines:
+        match = _LINE_RE.match(line.strip())
+        if match:
+            out.append(f"{match.group('path')}: {match.group('rest')}")
+    return sorted(set(out))
+
+
+def _read_baseline() -> list[str]:
+    if not BASELINE.exists():
+        return []
+    lines = []
+    for line in BASELINE.read_text().splitlines():
+        line = line.strip()
+        if line and not line.startswith("#"):
+            lines.append(line)
+    return sorted(set(lines))
+
+
+def _write_baseline(entries: list[str]) -> None:
+    header = (
+        "# mypy baseline for the typed subset (see mypy.ini).\n"
+        "# One normalized 'path: error: ...' line per accepted finding;\n"
+        "# regenerate with `python tools/check_mypy.py --update`.\n"
+    )
+    body = "\n".join(entries)
+    BASELINE.write_text(header + (body + "\n" if body else ""))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update", action="store_true", help="accept the current findings as the new baseline"
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        import mypy  # noqa: F401
+    except ImportError:
+        print("typecheck: mypy not installed in this environment; skipping (gate passes)")
+        return 0
+
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "--config-file", str(CONFIG), "--no-error-summary"],
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+    )
+    current = _normalize(proc.stdout.splitlines())
+    if proc.returncode not in (0, 1):  # 2 = usage/config/crash, never baseline-able
+        sys.stderr.write(proc.stdout + proc.stderr)
+        print(f"typecheck: mypy failed to run (exit {proc.returncode})")
+        return proc.returncode
+
+    if args.update:
+        _write_baseline(current)
+        print(f"typecheck: baseline updated with {len(current)} finding(s)")
+        return 0
+
+    baseline = _read_baseline()
+    new = [line for line in current if line not in baseline]
+    fixed = [line for line in baseline if line not in current]
+
+    if new:
+        print(f"typecheck: {len(new)} new mypy error(s) not in tools/mypy_baseline.txt:")
+        for line in new:
+            print(f"  {line}")
+        print("fix them, or accept deliberately with `python tools/check_mypy.py --update`")
+        return 1
+    if fixed:
+        print(
+            f"typecheck: clean ({len(fixed)} baseline finding(s) fixed — "
+            "run `python tools/check_mypy.py --update` to shrink the baseline)"
+        )
+        return 0
+    print(f"typecheck: clean ({len(baseline)} baselined finding(s), 0 new)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
