@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test test-faults bench bench-smoke bench-full serve-smoke serve-scale-smoke experiments examples clean docs-check profile lint typecheck check check-tape ci
+.PHONY: install test test-faults bench bench-smoke bench-full serve-smoke serve-scale-smoke serve-chaos-smoke experiments examples clean docs-check profile lint typecheck check check-tape ci
 
 install:
 	pip install -e .
@@ -30,7 +30,7 @@ check:
 check-tape:
 	python -m repro check tape --dataset metr-la-sim
 
-ci: lint docs-check test-faults test bench-smoke serve-smoke serve-scale-smoke check-tape
+ci: lint docs-check test-faults test bench-smoke serve-smoke serve-scale-smoke serve-chaos-smoke check-tape
 
 profile:
 	python -m repro profile --dataset metr-la-sim --model d2stgnn --out BENCH_profile.json
@@ -58,6 +58,14 @@ serve-smoke:
 # profiles, which also write the tracked BENCH_serve_scale.json.
 serve-scale-smoke:
 	REPRO_BENCH_PROFILE=tiny pytest benchmarks/bench_serve_scale.py --benchmark-only -q
+
+# Self-healing gate at the tiny scale: a K=2 process-worker run with a seeded
+# mid-run SIGKILL asserting zero unanswered requests, at least one supervised
+# restart, and model-tier serving after the supervisor settles; the
+# unsupervised arm must stay permanently degraded on the same schedule.
+# The bench/full profiles add hang arms and write BENCH_serve_chaos.json.
+serve-chaos-smoke:
+	REPRO_BENCH_PROFILE=tiny pytest benchmarks/bench_serve_chaos.py --benchmark-only -q
 
 bench-output:
 	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt

@@ -142,6 +142,7 @@ _SCALE_PATHS = (
     "src/repro/serve/transport.py",
     "src/repro/serve/shard.py",
     "src/repro/serve/loadgen.py",
+    "src/repro/serve/supervise.py",
 )
 _INSTANTIATE_NAMES = frozenset({"instantiate", "instantiate_fresh"})
 

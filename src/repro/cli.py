@@ -340,6 +340,8 @@ def cmd_serve(args) -> int:
     ``--rps`` switches the drive from the closed-loop replay to the
     open-loop Poisson load generator, where ``--max-inflight`` admission
     control and load shedding become observable (see docs/scaling.md).
+    ``--supervise`` adds self-healing: dead or hung workers are restarted
+    with bounded backoff and re-hydrated from the router's replay journal.
     """
     from .obs import FileSink
     from .serve import (
@@ -350,6 +352,7 @@ def cmd_serve(args) -> int:
         ServingEngine,
         ShardedServingEngine,
         SlidingWindowStore,
+        SupervisionPolicy,
         make_servable,
         replay_split,
         run_load,
@@ -382,6 +385,8 @@ def cmd_serve(args) -> int:
         path = bundle.save(args.save_servable)
         print(f"servable bundle -> {path}")
     sink = FileSink(args.telemetry) if args.telemetry else None
+    if args.supervise and args.workers <= 1:
+        raise SystemExit("--supervise requires --workers > 1 (the sharded stack)")
     config = ServeConfig(
         max_batch=args.max_batch,
         max_wait_s=args.max_wait_ms / 1000.0,
@@ -390,6 +395,7 @@ def cmd_serve(args) -> int:
             max_inflight=args.max_inflight,
             shed_on_overload=not args.no_shed,
         ),
+        supervision=SupervisionPolicy() if args.supervise else None,
     )
     if args.workers > 1:
         engine = ShardedServingEngine(
@@ -442,7 +448,9 @@ def cmd_serve(args) -> int:
                   f"{telemetry['cache_misses']} misses "
                   f"(hit rate {telemetry['cache_hit_rate']:.2f})")
     if args.workers > 1:
-        print(f"  sharding:  {args.workers} workers over {args.transport} transport")
+        supervised = " (supervised)" if args.supervise else ""
+        print(f"  sharding:  {args.workers} workers over {args.transport} "
+              f"transport{supervised}")
     if sink is not None:
         sink.close()
         print(f"  telemetry -> {args.telemetry}")
@@ -517,6 +525,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="how shard workers are hosted when --workers > 1")
     p.add_argument("--halo-hops", type=int, default=1,
                    help="halo ring width around each shard (see docs/scaling.md)")
+    p.add_argument("--supervise", action="store_true",
+                   help="self-heal shard workers: health checks, bounded-backoff "
+                        "restarts, replay-journal re-hydration (--workers > 1)")
     p.add_argument("--rps", type=float, default=None,
                    help="open-loop Poisson arrival rate; omit for closed-loop replay")
     p.add_argument("--duration", type=float, default=2.0,

@@ -10,7 +10,10 @@ each of them.  See ``docs/robustness.md`` for the cookbook.
 * :mod:`repro.faults.injectors` — composable fault injectors and the
   :class:`FaultSchedule` consumed by ``Trainer(..., faults=...)``;
 * :mod:`repro.faults.outage` — sensor-outage scenarios, imputation and
-  outage-aware evaluation (:func:`evaluate_under_outage`).
+  outage-aware evaluation (:func:`evaluate_under_outage`);
+* :mod:`repro.faults.serving` — serving chaos (worker SIGKILL, hang,
+  slow-reply, reply-drop) on a seeded :class:`ServeFaultSchedule`,
+  consumed by ``repro.serve.run_load(..., faults=...)``.
 """
 
 from .injectors import (
@@ -29,6 +32,14 @@ from .outage import (
     impute_windows,
     sample_outage_mask,
 )
+from .serving import (
+    ReplyDrop,
+    ServeFault,
+    ServeFaultSchedule,
+    SlowReply,
+    WorkerCrash,
+    WorkerHang,
+)
 
 __all__ = [
     "ActivationFault",
@@ -39,7 +50,13 @@ __all__ = [
     "GradientFault",
     "IMPUTE_STRATEGIES",
     "OutageScenario",
+    "ReplyDrop",
+    "ServeFault",
+    "ServeFaultSchedule",
     "SimulatedCrash",
+    "SlowReply",
+    "WorkerCrash",
+    "WorkerHang",
     "evaluate_under_outage",
     "impute_windows",
     "sample_outage_mask",

@@ -1,0 +1,204 @@
+"""Serving chaos: fault injectors for the sharded serving stack.
+
+The training injectors (:mod:`repro.faults.injectors`) corrupt math; these
+corrupt *infrastructure* — the failure modes a multi-process serving
+deployment actually meets, each scoped to one shard worker of a
+:class:`~repro.serve.ShardedServingEngine` and fired at a deterministic
+request index by :func:`repro.serve.run_load`'s ``faults=`` hook:
+
+* :class:`WorkerCrash` — SIGKILL the shard's worker process: no goodbye,
+  no flushed pipe, the hard-landing case supervision exists for;
+* :class:`WorkerHang` — the worker stalls for ``seconds`` before its next
+  answer (a long GC pause, a wedged syscall): the process is *alive* but
+  unresponsive, which only per-op timeouts + the consecutive-failure
+  threshold can catch;
+* :class:`SlowReply` — a milder stall that stays under the deadline:
+  inflates tail latency without tripping degradation;
+* :class:`ReplyDrop` — the op executes but its reply is lost in transit,
+  the "network ate my packet" case: the router times out, the worker
+  state is fine.
+
+:class:`ServeFaultSchedule` composes injectors and offers
+:meth:`ServeFaultSchedule.seeded` for reproducible chaos: the same seed
+always kills/hangs the same shards at the same request indices, which is
+what lets ``benchmarks/bench_serve_chaos.py`` compare supervised vs
+unsupervised arms on identical schedules.
+
+Hang/slow/drop ride :meth:`~repro.serve.ProcessTransport.inject_chaos` and
+therefore need the process transport; :class:`WorkerCrash` needs a real
+worker process to kill.  The loopback transport cannot host chaos — there
+is no failure domain to isolate.
+
+No model is invoked here (the serving half of lint rule R009's contract):
+injectors only signal processes and ship control messages.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import numpy as np
+
+__all__ = [
+    "ServeFault",
+    "WorkerCrash",
+    "WorkerHang",
+    "SlowReply",
+    "ReplyDrop",
+    "ServeFaultSchedule",
+]
+
+
+class ServeFault:
+    """Base serving injector: fire once, before request ``at_request``.
+
+    ``shard`` indexes the target worker in ``engine.workers``.  Subclasses
+    implement :meth:`apply`; firing is tracked by the schedule so each
+    fault triggers exactly once per run.
+    """
+
+    def __init__(self, at_request: int, shard: int = 0) -> None:
+        if at_request < 0:
+            raise ValueError("at_request must be non-negative")
+        if shard < 0:
+            raise ValueError("shard must be non-negative")
+        self.at_request = int(at_request)
+        self.shard = int(shard)
+
+    def fires(self, index: int) -> bool:
+        return index == self.at_request
+
+    def apply(self, engine) -> None:
+        raise NotImplementedError
+
+    def _worker(self, engine):
+        workers = engine.workers
+        if self.shard >= len(workers):
+            raise ValueError(
+                f"fault targets shard {self.shard}, engine has {len(workers)}"
+            )
+        return workers[self.shard]
+
+    def describe(self) -> dict:
+        return {
+            "kind": type(self).__name__,
+            "at_request": self.at_request,
+            "shard": self.shard,
+        }
+
+
+class WorkerCrash(ServeFault):
+    """SIGKILL the shard's worker process — the unclean-death case."""
+
+    def apply(self, engine) -> None:
+        worker = self._worker(engine)
+        process = getattr(worker, "process", None)
+        if process is None:
+            raise ValueError(
+                "WorkerCrash needs a process transport (loopback has no process)"
+            )
+        if process.is_alive():
+            os.kill(process.pid, signal.SIGKILL)
+            process.join(timeout=5.0)
+
+
+class WorkerHang(ServeFault):
+    """Stall the worker's next answer past any sane deadline (alive but hung)."""
+
+    def __init__(self, at_request: int, shard: int = 0, *, seconds: float = 60.0) -> None:
+        super().__init__(at_request, shard)
+        self.seconds = float(seconds)
+
+    def apply(self, engine) -> None:
+        self._worker(engine).inject_chaos(("delay_next", self.seconds))
+
+    def describe(self) -> dict:
+        return {**super().describe(), "seconds": self.seconds}
+
+
+class SlowReply(WorkerHang):
+    """A stall that stays under the deadline: tail latency, not degradation."""
+
+    def __init__(self, at_request: int, shard: int = 0, *, seconds: float = 0.05) -> None:
+        super().__init__(at_request, shard, seconds=seconds)
+
+
+class ReplyDrop(ServeFault):
+    """Execute the worker's next op but lose its reply in transit."""
+
+    def apply(self, engine) -> None:
+        self._worker(engine).inject_chaos(("drop_next",))
+
+
+class ServeFaultSchedule:
+    """A composed, replayable chaos plan over one load run.
+
+    ``before_request(index, engine)`` is called by the load generator
+    right before request ``index`` dispatches; every fault whose
+    ``at_request`` matches fires once and is logged in :attr:`fired`.
+    Failures *inside* an injector propagate — a chaos run that cannot
+    inject its chaos is invalid, not lucky.
+    """
+
+    def __init__(self, faults=()) -> None:
+        self.faults = list(faults)
+        self.fired: list[dict] = []
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def before_request(self, index: int, engine) -> None:
+        for fault in self.faults:
+            if fault.fires(index):
+                fault.apply(engine)
+                self.fired.append({**fault.describe(), "request": index})
+
+    @classmethod
+    def seeded(
+        cls,
+        num_shards: int,
+        num_requests: int,
+        *,
+        kills: int = 0,
+        hangs: int = 0,
+        drops: int = 0,
+        seed: int = 0,
+        hang_seconds: float = 60.0,
+    ) -> "ServeFaultSchedule":
+        """A reproducible schedule: same seed, same chaos, every run.
+
+        Request indices are drawn without replacement from the middle 80%
+        of the run (chaos at request 0 tests the cold path, not recovery;
+        chaos on the last request leaves nothing to observe), shard
+        targets uniformly.  Kills, hangs and drops draw from one stream in
+        a fixed order, so arms that share a seed share a schedule.
+        """
+        if num_shards < 1:
+            raise ValueError("num_shards must be positive")
+        total = kills + hangs + drops
+        if total == 0:
+            return cls()
+        lo, hi = max(1, num_requests // 10), max(2, (num_requests * 9) // 10)
+        if hi - lo < total:
+            raise ValueError(
+                f"cannot place {total} faults in request window [{lo}, {hi})"
+            )
+        rng = np.random.default_rng(seed)
+        indices = rng.choice(np.arange(lo, hi), size=total, replace=False)
+        shards = rng.integers(0, num_shards, size=total)
+        faults: list[ServeFault] = []
+        cursor = 0
+        for _ in range(kills):
+            faults.append(WorkerCrash(int(indices[cursor]), int(shards[cursor])))
+            cursor += 1
+        for _ in range(hangs):
+            faults.append(
+                WorkerHang(int(indices[cursor]), int(shards[cursor]), seconds=hang_seconds)
+            )
+            cursor += 1
+        for _ in range(drops):
+            faults.append(ReplyDrop(int(indices[cursor]), int(shards[cursor])))
+            cursor += 1
+        faults.sort(key=lambda fault: fault.at_request)
+        return cls(faults)

@@ -25,24 +25,33 @@ bottom to top:
   into K spatial shards (:func:`partition_graph`), one worker per shard
   behind a transport (:class:`LoopbackTransport` in-process,
   :class:`ProcessTransport` one process each), halo exchange at ingest,
-  admission control with load shedding under overload.
+  admission control with load shedding under overload, and per-shard
+  degradation: a dead shard falls back alone while the rest keep serving.
+* :class:`ShardSupervisor` / :class:`ReplayJournal` — self-healing
+  (``ServeConfig(supervision=SupervisionPolicy(...))``): liveness probes
+  and consecutive-failure thresholds trigger bounded-backoff worker
+  restarts, re-hydrated from a router-side journal of recent observations
+  so the replacement is forecast-ready with no cold-start gap.
 
 Entry points: ``repro serve`` on the command line (``--workers`` selects
-the sharded stack), :func:`replay_split` for trace-driven drives,
-:func:`run_load` for open-loop Poisson load generation,
-``benchmarks/bench_serve.py`` and ``benchmarks/bench_serve_scale.py`` for
-the tracked ``BENCH_serve.json`` / ``BENCH_serve_scale.json`` gates.
+the sharded stack, ``--supervise`` turns on self-healing),
+:func:`replay_split` for trace-driven drives, :func:`run_load` for
+open-loop Poisson load generation (``faults=`` injects serving chaos from
+:mod:`repro.faults.serving`), ``benchmarks/bench_serve.py``,
+``benchmarks/bench_serve_scale.py`` and ``benchmarks/bench_serve_chaos.py``
+for the tracked ``BENCH_serve*.json`` gates.
 """
 
 from .cache import PredictionCache
-from .degrade import DegradationPolicy, fallback_forecast
-from .engine import EngineCore, ForecastResult, ServeConfig, ServingEngine
+from .degrade import DegradationPolicy, SupervisionPolicy, fallback_forecast
+from .engine import DEFAULT_OP_TIMEOUTS, EngineCore, ForecastResult, ServeConfig, ServingEngine
 from .loadgen import LoadResult, poisson_arrivals, run_load
 from .microbatch import ForecastRequest, MicroBatcher
 from .registry import ModelRegistry, ServableBundle, ServableSpec, make_servable
 from .replay import replay_split
 from .router import ShardedServingEngine
 from .shard import GraphPartition, ShardPlan, partition_graph, shard_bundle
+from .supervise import ReplayJournal, ShardSupervisor
 from .transport import (
     LoopbackTransport,
     ProcessTransport,
@@ -52,6 +61,7 @@ from .transport import (
 from .window_store import SlidingWindowStore
 
 __all__ = [
+    "DEFAULT_OP_TIMEOUTS",
     "DegradationPolicy",
     "EngineCore",
     "ForecastRequest",
@@ -63,13 +73,16 @@ __all__ = [
     "ModelRegistry",
     "PredictionCache",
     "ProcessTransport",
+    "ReplayJournal",
     "ServableBundle",
     "ServableSpec",
     "ServeConfig",
     "ServingEngine",
     "ShardPlan",
+    "ShardSupervisor",
     "ShardedServingEngine",
     "SlidingWindowStore",
+    "SupervisionPolicy",
     "TransportError",
     "WorkerTransport",
     "fallback_forecast",

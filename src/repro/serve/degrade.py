@@ -20,7 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["DegradationPolicy", "fallback_forecast"]
+__all__ = ["DegradationPolicy", "SupervisionPolicy", "fallback_forecast"]
 
 
 @dataclass(frozen=True)
@@ -49,6 +49,30 @@ class DegradationPolicy:
     fallback_on_nan: bool = True
     max_inflight: int | None = None
     shed_on_overload: bool = True
+
+
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """When and how the sharded router restarts a failed worker.
+
+    Passed as ``ServeConfig(supervision=...)``; consumed by
+    :class:`~repro.serve.ShardSupervisor`.  A shard becomes restart-due
+    when its process is dead (liveness probe, if ``probe_liveness``) or
+    after ``failure_threshold`` *consecutive* transport failures (a hung
+    worker is alive but unresponsive).  Restart attempts back off
+    exponentially from ``backoff_base_s`` doubling up to ``backoff_max_s``;
+    after ``max_restarts`` attempts without an intervening healthy request
+    the shard is abandoned to its fallback tier (``gave_up`` in the health
+    report) rather than crash-looping forever.  ``check_interval_s`` paces
+    the supervisor thread; tests drive ``poll_now()`` directly instead.
+    """
+
+    check_interval_s: float = 0.25
+    failure_threshold: int = 2
+    backoff_base_s: float = 0.05
+    backoff_max_s: float = 2.0
+    max_restarts: int = 8
+    probe_liveness: bool = True
 
 
 def fallback_forecast(

@@ -42,17 +42,38 @@ from ..check.sanitizers import AnomalyError
 from ..obs.telemetry import serving_record
 from ..utils.timer import now
 from .cache import PredictionCache
-from .degrade import DegradationPolicy, fallback_forecast
+from .degrade import DegradationPolicy, SupervisionPolicy, fallback_forecast
 from .microbatch import ForecastRequest, MicroBatcher
 from .registry import ModelRegistry
 from .window_store import SlidingWindowStore
 
-__all__ = ["ServeConfig", "ForecastResult", "EngineCore", "ServingEngine"]
+__all__ = ["DEFAULT_OP_TIMEOUTS", "ServeConfig", "ForecastResult", "EngineCore", "ServingEngine"]
+
+# Per-op transport deadlines (seconds).  A forecast that takes 10 s is a
+# dead shard for serving purposes — far below the old blanket 60 s — while
+# publish legitimately ships a whole bundle over the pipe and gets longer.
+DEFAULT_OP_TIMEOUTS: dict[str, float] = {
+    "observe": 10.0,
+    "forecast": 10.0,
+    "telemetry": 10.0,
+    "activate": 30.0,
+    "publish": 120.0,
+    "ping": 2.0,
+    "default": 60.0,
+}
 
 
 @dataclass
 class ServeConfig:
-    """Engine knobs; defaults match the serve benchmark's tiny profile."""
+    """Engine knobs; defaults match the serve benchmark's tiny profile.
+
+    ``op_timeouts_s`` partially overrides :data:`DEFAULT_OP_TIMEOUTS` for
+    the sharded transports (e.g. ``{"forecast": 0.25}`` for a chaos run);
+    unlisted ops keep their defaults.  ``supervision`` (a
+    :class:`~repro.serve.SupervisionPolicy`) turns on worker supervision
+    in the sharded router: health checks, bounded-backoff restarts and
+    replay-journal re-hydration.  ``None`` (the default) serves unsupervised.
+    """
 
     horizon: int | None = None  # None: the bundle's trained horizon
     max_batch: int = 16
@@ -61,6 +82,14 @@ class ServeConfig:
     cache_capacity: int = 256
     anomaly_check: bool = True
     policy: DegradationPolicy = field(default_factory=DegradationPolicy)
+    op_timeouts_s: dict = field(default_factory=dict)
+    supervision: SupervisionPolicy | None = None
+
+    def op_timeout_s(self, op: str) -> float:
+        """The transport deadline for one op, with partial overrides."""
+        if op in self.op_timeouts_s:
+            return float(self.op_timeouts_s[op])
+        return DEFAULT_OP_TIMEOUTS.get(op, DEFAULT_OP_TIMEOUTS["default"])
 
 
 @dataclass

@@ -17,6 +17,13 @@ leave it ``None`` for the closed-loop fallback.  Arrival schedules come
 from :func:`poisson_arrivals`, a seeded generator, so the offered load of
 a run is reproducible even though wall-clock service times are not.
 
+``faults`` accepts a :class:`repro.faults.ServeFaultSchedule`: before each
+request is dispatched the schedule gets a chance to kill, hang, slow or
+mute a shard worker (request indices are deterministic, so the same
+schedule reproduces the same chaos).  The per-request ``timeline`` in
+:class:`LoadResult` records when each answer landed and from which tier,
+which is how the chaos benchmark measures recovery time after a kill.
+
 No model is invoked here (lint rule R009) — the generator only speaks the
 engine's public ``observe``/``forecast`` surface.
 """
@@ -63,7 +70,10 @@ class LoadResult:
     ``offered_rps`` is the configured arrival rate (open loop) or the
     achieved rate (closed loop, where offered and achieved coincide by
     construction); ``shed`` counts requests answered with reason
-    ``"shed"`` by the router's admission control.
+    ``"shed"`` by the router's admission control.  ``timeline`` is one
+    ``(completed_at_s, source, reason)`` triple per answered request in
+    completion order — the chaos benchmark reads recovery time (first
+    model-tier answer after a kill) straight off it.
     """
 
     mode: str  # "open" or "closed"
@@ -77,6 +87,7 @@ class LoadResult:
     latency_ms_p50: float
     latency_ms_p95: float
     latency_ms_p99: float
+    timeline: tuple = ()
 
 
 def _warm(engine, data, steps: int):
@@ -100,21 +111,25 @@ def _warm(engine, data, steps: int):
 
 def _summarise(
     mode: str,
-    results: list,
+    events: list,
     duration_s: float,
     offered_rps: float,
 ) -> LoadResult:
+    """Collapse ``(completed_at_s, ForecastResult)`` events into a summary."""
+    events = sorted(events, key=lambda event: event[0])
     sources: dict[str, int] = {}
     fallback_reasons: dict[str, int] = {}
     latencies = []
     shed = 0
-    for result in results:
+    timeline = []
+    for completed_at, result in events:
         sources[result.source] = sources.get(result.source, 0) + 1
         if result.reason is not None:
             fallback_reasons[result.reason] = fallback_reasons.get(result.reason, 0) + 1
             if result.reason == "shed":
                 shed += 1
         latencies.append(result.latency_s)
+        timeline.append((float(completed_at), result.source, result.reason))
     latencies_ms = np.asarray(latencies, dtype=np.float64) * 1000.0
     percentile = (
         (lambda q: float(np.percentile(latencies_ms, q)))
@@ -123,17 +138,29 @@ def _summarise(
     )
     return LoadResult(
         mode=mode,
-        requests=len(results),
+        requests=len(events),
         duration_s=duration_s,
         offered_rps=offered_rps,
-        achieved_rps=len(results) / duration_s if duration_s > 0 else 0.0,
+        achieved_rps=len(events) / duration_s if duration_s > 0 else 0.0,
         shed=shed,
         sources=sources,
         fallback_reasons=fallback_reasons,
         latency_ms_p50=percentile(50),
         latency_ms_p95=percentile(95),
         latency_ms_p99=percentile(99),
+        timeline=tuple(timeline),
     )
+
+
+def _fire(faults, index: int, engine) -> None:
+    """Give the fault schedule its shot before request ``index`` dispatches."""
+    if faults is not None:
+        faults.before_request(index, engine)
+
+
+def _timed(call, argument, start: float):
+    result = call(argument)
+    return (now() - start, result)
 
 
 def run_load(
@@ -149,6 +176,7 @@ def run_load(
     horizons=None,
     seed: int = 0,
     observe_interval_s: float | None = None,
+    faults=None,
 ) -> LoadResult:
     """Drive ``engine`` over ``data``'s recorded tail and summarise.
 
@@ -157,6 +185,10 @@ def run_load(
     horizons are distinct cache keys, so this keeps an arrival stream on the
     model path when the benchmark needs overload to reach it (the forward
     cost itself does not depend on the requested horizon).
+
+    ``faults`` (a :class:`repro.faults.ServeFaultSchedule`) injects serving
+    chaos keyed on the global request index: each fault fires once, right
+    before its request dispatches, in both loop modes.
 
     **Open loop** (``rps`` set): forecast requests arrive on the Poisson
     schedule of :func:`poisson_arrivals` for ``duration_s`` seconds,
@@ -178,12 +210,12 @@ def run_load(
     if rps is None:
         return _run_closed(
             engine, data, steps=steps, requests_per_step=requests_per_step,
-            concurrency=concurrency, pick=pick,
+            concurrency=concurrency, pick=pick, faults=faults,
         )
     return _run_open(
         engine, data, rps=rps, duration_s=duration_s, steps=steps,
         concurrency=concurrency, pick=pick, seed=seed,
-        observe_interval_s=observe_interval_s,
+        observe_interval_s=observe_interval_s, faults=faults,
     )
 
 
@@ -199,32 +231,34 @@ def _horizon_picker(horizon, horizons):
 
 def _run_closed(
     engine, data, *, steps: int, requests_per_step: int, concurrency: int,
-    pick,
+    pick, faults=None,
 ) -> LoadResult:
     if steps <= 0 or requests_per_step <= 0:
         raise ValueError("steps and requests_per_step must be positive")
     values, tod, dow = _warm(engine, data, steps)
-    results = []
+    events = []
     start = now()
     with ThreadPoolExecutor(max_workers=concurrency) as pool:
         for step in range(steps):
             engine.observe(values[step], int(tod[step]), int(dow[step]))
             base = step * requests_per_step
-            results.append(engine.forecast(pick(base)))
-            burst = [
-                pool.submit(engine.forecast, pick(base + 1 + extra))
-                for extra in range(requests_per_step - 1)
-            ]
-            results.extend(future.result() for future in burst)
+            _fire(faults, base, engine)
+            events.append(_timed(engine.forecast, pick(base), start))
+            burst = []
+            for extra in range(requests_per_step - 1):
+                _fire(faults, base + 1 + extra, engine)
+                burst.append(
+                    pool.submit(_timed, engine.forecast, pick(base + 1 + extra), start)
+                )
+            events.extend(future.result() for future in burst)
     elapsed = now() - start
-    summary = _summarise("closed", results, elapsed, len(results) / elapsed)
-    return summary
+    return _summarise("closed", events, elapsed, len(events) / elapsed)
 
 
 def _run_open(
     engine, data, *, rps: float, duration_s: float, steps: int,
     concurrency: int, pick, seed: int,
-    observe_interval_s: float | None,
+    observe_interval_s: float | None, faults=None,
 ) -> LoadResult:
     values, tod, dow = _warm(engine, data, steps)
     arrivals = poisson_arrivals(rps, duration_s, seed)
@@ -251,10 +285,11 @@ def _run_open(
                 delay = start + float(offset) - now()
                 if delay > 0:
                     time.sleep(delay)
-                futures.append(pool.submit(engine.forecast, pick(index)))
-            results = [future.result() for future in futures]
+                _fire(faults, index, engine)
+                futures.append(pool.submit(_timed, engine.forecast, pick(index), start))
+            events = [future.result() for future in futures]
     finally:
         stop.set()
         ticker.join()
     elapsed = now() - start
-    return _summarise("open", results, elapsed, rps)
+    return _summarise("open", events, elapsed, rps)

@@ -1,0 +1,286 @@
+"""Self-healing for sharded serving: replay journal + shard supervisor.
+
+PR 6's router treats a dead worker as permanent: the shard degrades to its
+historical-average fallback and never comes back.  This module closes the
+loop (docs/scaling.md, "Self-healing & chaos testing"):
+
+* :class:`ReplayJournal` — a router-side bounded ring of the most recent
+  ``observe`` rows, one ring per shard holding that shard's *local*
+  (owned + halo) slice.  Capacity is the model window, so a replacement
+  worker can be re-hydrated to exactly the live window state and is
+  forecast-ready immediately — no cold-start gap, and bit-identical to a
+  worker that never died.
+* :class:`ShardSupervisor` — health-checks workers (process-liveness
+  probe + consecutive-transport-failure threshold), restarts dead or hung
+  :class:`~repro.serve.ProcessTransport` workers with bounded exponential
+  backoff, republishes every known servable version to the replacement,
+  and replays the journal into it before swapping it live under the
+  router's RPC lock.
+
+Lock discipline (deadlock-free by construction): the router never calls
+into the supervisor while holding ``_rpc_lock``; the supervisor builds and
+hydrates replacements *outside* ``_rpc_lock`` and only takes it for the
+delta-replay + swap, never while holding its own bookkeeping lock.
+
+No model is invoked here (lint rules R008/R009) — re-hydration is pure
+``observe`` traffic into the worker's window store.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+import numpy as np
+
+from ..utils.timer import now
+from .degrade import SupervisionPolicy
+
+__all__ = ["ReplayJournal", "ShardSupervisor"]
+
+
+class ReplayJournal:
+    """Bounded per-shard ring of recent ``observe`` rows, for re-hydration.
+
+    Each entry is ``(seq, local_row, tod, dow)`` where ``seq`` is a global
+    monotone observation counter and ``local_row`` the shard's owned+halo
+    slice (copied — callers may reuse their buffers).  ``capacity`` should
+    be the model window (``spec.history``): replaying a full ring rebuilds
+    a :class:`~repro.serve.SlidingWindowStore` exactly.
+    """
+
+    def __init__(self, num_shards: int, capacity: int) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be positive")
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = int(capacity)
+        self._rings: list[deque] = [deque(maxlen=capacity) for _ in range(num_shards)]
+        self._seq = 0
+        self._lock = threading.Lock()
+
+    @property
+    def seq(self) -> int:
+        """Global sequence number of the most recent recorded observation."""
+        with self._lock:
+            return self._seq
+
+    def record(self, slices, tod: int, dow: int) -> int:
+        """Append one observation's per-shard slices; returns its seq."""
+        if len(slices) != len(self._rings):
+            raise ValueError(
+                f"expected {len(self._rings)} shard slices, got {len(slices)}"
+            )
+        with self._lock:
+            self._seq += 1
+            for ring, local in zip(self._rings, slices):
+                ring.append((self._seq, np.array(local, copy=True), int(tod), int(dow)))
+            return self._seq
+
+    def snapshot(self, shard: int) -> tuple[list, int]:
+        """All retained entries for one shard, plus the seq they run up to."""
+        with self._lock:
+            return list(self._rings[shard]), self._seq
+
+    def since(self, shard: int, seq: int) -> list:
+        """Entries for one shard recorded after global seq ``seq``."""
+        with self._lock:
+            return [entry for entry in self._rings[shard] if entry[0] > seq]
+
+    def depth(self, shard: int) -> int:
+        with self._lock:
+            return len(self._rings[shard])
+
+
+class _ShardState:
+    """Supervisor-side health bookkeeping for one shard."""
+
+    __slots__ = (
+        "consecutive_failures", "restarts", "attempts", "next_attempt_at",
+        "last_error", "gave_up", "force_restart",
+    )
+
+    def __init__(self) -> None:
+        self.consecutive_failures = 0
+        self.restarts = 0  # successful supervised restarts
+        self.attempts = 0  # restart attempts since the last healthy request
+        self.next_attempt_at = 0.0
+        self.last_error: str | None = None
+        self.gave_up = False
+        self.force_restart = False
+
+
+class ShardSupervisor:
+    """Watches a sharded router's workers and restarts the ones that fail.
+
+    The router reports per-request outcomes via :meth:`note_failure` /
+    :meth:`note_success`; a background thread (or an explicit
+    :meth:`poll_now`, which tests and the chaos benchmark drive for
+    determinism) probes process liveness and performs due restarts.  A
+    restart rebuilds the worker through ``router.build_worker`` (fresh
+    process, full version catalog, active version), re-hydrates its window
+    store from the :class:`ReplayJournal`, then swaps it live under the
+    router's RPC lock so no scatter round ever sees a half-built worker.
+    """
+
+    def __init__(self, router, policy: SupervisionPolicy | None = None) -> None:
+        self.router = router
+        self.policy = policy or SupervisionPolicy()
+        self._states = [_ShardState() for _ in router.workers]
+        self._lock = threading.Lock()  # bookkeeping only; never held across RPC
+        self._poll_lock = threading.Lock()  # one poll/restart pass at a time
+        self._stop_event = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # Outcome reporting (called by the router, outside its RPC lock)
+    # ------------------------------------------------------------------
+    def note_failure(self, shard: int, op: str, error: BaseException, *, force: bool = False) -> None:
+        """Record one failed transport round-trip against a shard."""
+        with self._lock:
+            state = self._states[shard]
+            state.consecutive_failures += 1
+            state.last_error = f"{op}: {error}"
+            if force:
+                state.force_restart = True
+
+    def note_success(self, shard: int) -> None:
+        """A healthy round-trip: reset the failure streak and the backoff."""
+        with self._lock:
+            state = self._states[shard]
+            state.consecutive_failures = 0
+            state.attempts = 0
+            state.gave_up = False
+
+    # ------------------------------------------------------------------
+    # Supervision loop
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Run the supervision loop in a daemon thread."""
+        if self._thread is not None:
+            return
+        self._stop_event.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve-supervisor", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop_event.set()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop_event.wait(self.policy.check_interval_s):
+            try:
+                self.poll_now()
+            except Exception:  # supervision must never kill serving
+                pass
+
+    def poll_now(self) -> int:
+        """One supervision pass; returns the number of successful restarts.
+
+        Safe to call from tests/benchmarks for deterministic recovery: the
+        pass probes liveness, then restarts every due shard whose backoff
+        window has elapsed.
+        """
+        with self._poll_lock:
+            restarted = 0
+            for shard in range(len(self._states)):
+                if self._probe_due(shard) and self._restart(shard):
+                    restarted += 1
+            return restarted
+
+    def _probe_due(self, shard: int) -> bool:
+        """Decide whether this shard needs a restart attempt right now."""
+        worker = self.router.workers[shard]
+        dead = self.policy.probe_liveness and not worker.alive
+        with self._lock:
+            state = self._states[shard]
+            if state.gave_up:
+                return False
+            due = (
+                dead
+                or state.force_restart
+                or state.consecutive_failures >= self.policy.failure_threshold
+            )
+            if not due:
+                return False
+            if now() < state.next_attempt_at:
+                return False  # still backing off
+            state.attempts += 1
+            if state.attempts > self.policy.max_restarts:
+                state.gave_up = True
+                return False
+            backoff = min(
+                self.policy.backoff_base_s * (2.0 ** (state.attempts - 1)),
+                self.policy.backoff_max_s,
+            )
+            state.next_attempt_at = now() + backoff
+            return True
+
+    def _restart(self, shard: int) -> bool:
+        """Build, re-hydrate and swap in a replacement worker for ``shard``."""
+        journal = self.router.journal
+        old = self.router.workers[shard]
+        try:
+            replacement = self.router.build_worker(shard)
+        except Exception as error:
+            with self._lock:
+                self._states[shard].last_error = f"restart: {error}"
+            return False
+        try:
+            # Bulk re-hydration outside the RPC lock: serving continues on
+            # the healthy shards while the replacement catches up.
+            entries, upto = journal.snapshot(shard)
+            for _seq, row, tod, dow in entries:
+                replacement.request("observe", (row, tod, dow))
+            with self.router._rpc_lock:
+                # Catch-up delta: rows observed while we were hydrating.
+                for _seq, row, tod, dow in journal.since(shard, upto):
+                    replacement.request("observe", (row, tod, dow))
+                self.router.workers[shard] = replacement
+        except Exception as error:  # incl. TransportError from re-hydration
+            with self._lock:
+                self._states[shard].last_error = f"restart: {error}"
+            try:
+                replacement.close()
+            except Exception:
+                pass
+            return False
+        try:
+            old.kill()  # no stop handshake: the old worker is dead or hung
+        except Exception:
+            pass  # best effort either way
+        with self._lock:
+            state = self._states[shard]
+            state.restarts += 1
+            state.consecutive_failures = 0
+            state.force_restart = False
+            state.last_error = None
+        return True
+
+    # ------------------------------------------------------------------
+    # Health reporting
+    # ------------------------------------------------------------------
+    def report(self) -> list[dict]:
+        """Per-shard health: alive, failure streaks, restart accounting."""
+        out = []
+        with self._lock:
+            for shard, state in enumerate(self._states):
+                out.append({
+                    "shard": shard,
+                    "alive": bool(self.router.workers[shard].alive),
+                    "consecutive_failures": state.consecutive_failures,
+                    "restarts": state.restarts,
+                    "gave_up": state.gave_up,
+                    "last_error": state.last_error,
+                })
+        return out
+
+    @property
+    def total_restarts(self) -> int:
+        with self._lock:
+            return sum(state.restarts for state in self._states)

@@ -14,10 +14,25 @@ runs* behind one small request/reply surface:
   graph shards with no shared interpreter state.
 
 Both speak the same op set — ``observe``, ``forecast``, ``publish``,
-``activate``, ``telemetry``, ``stop`` — and both support the split
-``post``/``wait`` form the router uses to scatter a request across every
-shard before gathering any reply.  Worker failures surface as
-:class:`TransportError`, which the router's degradation ladder absorbs.
+``activate``, ``telemetry``, ``ping``, ``stop`` — and both support the
+split ``post``/``wait`` form the router uses to scatter a request across
+every shard before gathering any reply.  Worker failures surface as
+:class:`TransportError` carrying the shard index and op, which the
+router's degradation ladder absorbs per shard.
+
+The pipe protocol is sequence-framed: every request is
+``(seq, op, payload)`` and every reply ``(seq, status, value)``.  A
+timed-out request no longer poisons the lane — the late reply is
+recognised by its stale ``seq`` and discarded, so the transport can keep
+serving after a hang (docs/scaling.md, "Self-healing & chaos testing").
+Timeouts are per-op, from :meth:`~repro.serve.ServeConfig.op_timeout_s`:
+a forecast deadline is a few seconds, not the old blanket 60 s.
+
+For chaos testing, :meth:`ProcessTransport.inject_chaos` ships a
+directive (``("delay_next", seconds)`` or ``("drop_next",)``) that the
+worker applies to its next regular op — the injectors in
+:mod:`repro.faults.serving` build hang / slow-reply / reply-drop faults
+on top of it.
 
 No model is ever invoked in this module (lint rules R008/R009): transports
 move requests, the core's micro-batcher runs forwards.
@@ -27,8 +42,10 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import threading
+import time
 
-from .engine import EngineCore, ForecastResult, ServeConfig
+from ..utils.timer import now
+from .engine import DEFAULT_OP_TIMEOUTS, EngineCore, ForecastResult, ServeConfig
 from .registry import ModelRegistry
 from .window_store import SlidingWindowStore
 
@@ -38,7 +55,27 @@ _STOP_TIMEOUT_S = 5.0
 
 
 class TransportError(RuntimeError):
-    """A shard worker could not be reached or died mid-request."""
+    """A shard worker could not be reached or died mid-request.
+
+    ``shard`` (the worker's shard index) and ``op`` (the transport op that
+    failed) identify *which* lane broke — the router's per-shard
+    degradation and the supervisor's restart accounting both key off them.
+    """
+
+    def __init__(self, message: str, *, shard: int | None = None, op: str | None = None) -> None:
+        if shard is not None or op is not None:
+            where = " ".join(
+                part
+                for part in (
+                    f"shard {shard}" if shard is not None else "",
+                    f"op {op!r}" if op is not None else "",
+                )
+                if part
+            )
+            message = f"[{where}] {message}"
+        super().__init__(message)
+        self.shard = shard
+        self.op = op
 
 
 def _build_core(bundle, version: str, config: ServeConfig | None) -> EngineCore:
@@ -58,6 +95,13 @@ class WorkerTransport:
     request may be outstanding per transport — the router serialises
     scatter/gather rounds, so transports stay single-lane by design.
     """
+
+    shard: int | None = None
+
+    @property
+    def alive(self) -> bool:
+        """Whether the worker is believed able to answer (liveness probe)."""
+        return True
 
     def post(self, op: str, payload: tuple = ()) -> None:
         raise NotImplementedError
@@ -85,8 +129,21 @@ class WorkerTransport:
     def telemetry(self) -> dict:
         return self.request("telemetry")
 
+    def ping(self) -> bool:
+        """Round-trip liveness check: True iff the worker answers ``ping``."""
+        return self.request("ping") == "pong"
+
     def close(self) -> None:
         raise NotImplementedError
+
+    def kill(self) -> None:
+        """Tear the worker down without the stop handshake (default: close).
+
+        The supervisor uses this on workers it has already declared dead or
+        hung — a graceful ``close`` would wait out the stop timeout on a
+        process that will never ack.
+        """
+        self.close()
 
 
 def _apply(core: EngineCore, op: str, payload: tuple):
@@ -104,26 +161,39 @@ def _apply(core: EngineCore, op: str, payload: tuple):
         return None
     if op == "telemetry":
         return core.telemetry_report()
+    if op == "ping":
+        return "pong"
     raise ValueError(f"unknown transport op {op!r}")
 
 
 class LoopbackTransport(WorkerTransport):
     """In-process worker: ops run inline on a locally built core."""
 
-    def __init__(self, bundle, version: str = "v1", config: ServeConfig | None = None) -> None:
+    def __init__(
+        self,
+        bundle,
+        version: str = "v1",
+        config: ServeConfig | None = None,
+        *,
+        shard: int | None = None,
+    ) -> None:
         self.core = _build_core(bundle, version, config)
+        self.shard = shard
         self._result = None
         self._pending = False
 
     def post(self, op: str, payload: tuple = ()) -> None:
         if self._pending:
-            raise TransportError("loopback transport already has a request in flight")
+            raise TransportError(
+                "loopback transport already has a request in flight",
+                shard=self.shard, op=op,
+            )
         self._pending = True
         self._result = _apply(self.core, op, payload)
 
     def wait(self):
         if not self._pending:
-            raise TransportError("no request in flight")
+            raise TransportError("no request in flight", shard=self.shard)
         self._pending = False
         result, self._result = self._result, None
         return result
@@ -135,33 +205,62 @@ class LoopbackTransport(WorkerTransport):
 def _worker_main(conn, bundle, version: str, config: ServeConfig | None) -> None:
     """Shard worker process body: serve ops from the pipe until ``stop``.
 
-    Every op is answered exactly once — ``("ok", value)`` or
-    ``("error", exception)`` — so the parent's ``wait`` never hangs on a
-    healthy worker.  ``stop`` acknowledges, then drains the core (the
-    micro-batcher thread joins) before the process exits, so an in-flight
-    batch finishes rather than being torn mid-forward.
+    Requests are ``(seq, op, payload)`` and every regular op is answered
+    exactly once — ``(seq, "ok", value)`` or ``(seq, "error", exception)``
+    — so the parent's ``wait`` can match replies to requests and discard
+    stale ones after a timeout.  ``stop`` acknowledges, then drains the
+    core (the micro-batcher thread joins) before the process exits, so an
+    in-flight batch finishes rather than being torn mid-forward.
+
+    ``chaos`` requests are control-channel only: they arm a one-shot
+    misbehaviour (``("delay_next", seconds)`` stalls before answering the
+    next op; ``("drop_next",)`` executes it but never replies) and are
+    themselves never answered.
     """
     core = _build_core(bundle, version, config)
+    delay_next_s = 0.0
+    drop_next = False
     try:
         while True:
             try:
-                op, payload = conn.recv()
+                seq, op, payload = conn.recv()
             except (EOFError, OSError):
                 break
             if op == "stop":
-                conn.send(("ok", None))
+                conn.send((seq, "ok", None))
                 break
+            if op == "chaos":
+                if payload[0] == "delay_next":
+                    delay_next_s = float(payload[1])
+                elif payload[0] == "drop_next":
+                    drop_next = True
+                continue  # chaos directives are never answered
+            if delay_next_s:
+                time.sleep(delay_next_s)
+                delay_next_s = 0.0
             try:
-                conn.send(("ok", _apply(core, op, payload)))
+                reply = (seq, "ok", _apply(core, op, payload))
             except BaseException as error:  # answered, not lost — router degrades
-                conn.send(("error", error))
+                reply = (seq, "error", error)
+            if drop_next:
+                drop_next = False
+                continue  # the op ran; only the reply is lost
+            conn.send(reply)
     finally:
         core.close()
         conn.close()
 
 
 class ProcessTransport(WorkerTransport):
-    """One shard worker in its own process, spoken to over a duplex pipe."""
+    """One shard worker in its own process, spoken to over a duplex pipe.
+
+    ``request_timeout_s=None`` (the default) takes per-op deadlines from
+    ``config.op_timeout_s``; passing a float keeps the old blanket-timeout
+    behaviour.  A timeout raises :class:`TransportError` but no longer
+    poisons the lane: the in-flight request is abandoned and its eventual
+    reply (if the worker was merely slow) is drained and discarded by seq
+    before the next ``post``.
+    """
 
     def __init__(
         self,
@@ -169,14 +268,18 @@ class ProcessTransport(WorkerTransport):
         version: str = "v1",
         config: ServeConfig | None = None,
         *,
-        request_timeout_s: float = 60.0,
+        shard: int | None = None,
+        request_timeout_s: float | None = None,
         context: str | None = None,
     ) -> None:
         ctx = mp.get_context(context) if context else mp.get_context()
         self._conn, child = ctx.Pipe(duplex=True)
+        self.shard = shard
         self.request_timeout_s = request_timeout_s
+        self._config = config
         self._lock = threading.Lock()
-        self._pending = False
+        self._seq = 0
+        self._pending: tuple[int, str] | None = None
         self._closed = False
         self._broken = False
         self.process = ctx.Process(
@@ -188,36 +291,110 @@ class ProcessTransport(WorkerTransport):
         self.process.start()
         child.close()  # parent keeps one end only
 
+    @property
+    def alive(self) -> bool:
+        return not self._closed and not self._broken and self.process.is_alive()
+
+    def _timeout_for(self, op: str) -> float:
+        if self.request_timeout_s is not None:
+            return float(self.request_timeout_s)
+        if self._config is not None:
+            return self._config.op_timeout_s(op)
+        return DEFAULT_OP_TIMEOUTS.get(op, DEFAULT_OP_TIMEOUTS["default"])
+
+    def _drain_locked(self) -> None:
+        """Discard stale replies left behind by timed-out requests."""
+        try:
+            while self._conn.poll(0):
+                self._conn.recv()
+        except (EOFError, OSError):
+            pass  # a dead worker surfaces on the next send/recv
+
     def post(self, op: str, payload: tuple = ()) -> None:
         with self._lock:
             if self._closed or self._broken:
-                raise TransportError("transport is closed")
-            if self._pending:
-                raise TransportError("process transport already has a request in flight")
+                raise TransportError("transport is closed", shard=self.shard, op=op)
+            if self._pending is not None:
+                raise TransportError(
+                    "process transport already has a request in flight",
+                    shard=self.shard, op=op,
+                )
+            self._drain_locked()
+            self._seq += 1
             try:
-                self._conn.send((op, payload))
+                self._conn.send((self._seq, op, payload))
             except (BrokenPipeError, OSError) as error:
-                raise TransportError(f"shard worker is gone: {error}") from error
-            self._pending = True
+                self._broken = True
+                raise TransportError(
+                    f"shard worker is gone: {error}", shard=self.shard, op=op
+                ) from error
+            self._pending = (self._seq, op)
 
     def wait(self):
         with self._lock:
-            if not self._pending:
-                raise TransportError("no request in flight")
-            self._pending = False
-            if not self._conn.poll(self.request_timeout_s):
-                self._broken = True  # a late reply would desync the pipe
-                raise TransportError(
-                    f"shard worker did not answer within {self.request_timeout_s}s"
-                )
-            try:
-                status, value = self._conn.recv()
-            except (EOFError, OSError) as error:
-                self._broken = True
-                raise TransportError(f"shard worker died mid-request: {error}") from error
+            if self._pending is None:
+                raise TransportError("no request in flight", shard=self.shard)
+            seq, op = self._pending
+            self._pending = None
+            timeout = self._timeout_for(op)
+            deadline = now() + timeout
+            while True:
+                remaining = deadline - now()
+                if remaining <= 0 or not self._conn.poll(remaining):
+                    # Lane stays usable: the stale reply is drained by seq.
+                    raise TransportError(
+                        f"shard worker did not answer within {timeout}s",
+                        shard=self.shard, op=op,
+                    )
+                try:
+                    rseq, status, value = self._conn.recv()
+                except (EOFError, OSError) as error:
+                    self._broken = True
+                    raise TransportError(
+                        f"shard worker died mid-request: {error}",
+                        shard=self.shard, op=op,
+                    ) from error
+                if rseq == seq:
+                    break
+                # Stale reply from a previously timed-out request: discard.
         if status == "error":
             raise value
         return value
+
+    def inject_chaos(self, directive: tuple) -> None:
+        """Ship a one-shot chaos directive (hang / slow / drop) to the worker.
+
+        Control-channel only: the worker applies it to its *next* regular
+        op and never answers the directive itself, so the request/reply
+        pairing stays intact.  Used by :mod:`repro.faults.serving`.
+        """
+        with self._lock:
+            if self._closed or self._broken:
+                raise TransportError("transport is closed", shard=self.shard, op="chaos")
+            try:
+                self._conn.send((0, "chaos", tuple(directive)))
+            except (BrokenPipeError, OSError) as error:
+                self._broken = True
+                raise TransportError(
+                    f"shard worker is gone: {error}", shard=self.shard, op="chaos"
+                ) from error
+
+    def kill(self) -> None:
+        """Hard teardown: no stop handshake, terminate and reap the process."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            try:
+                self._conn.close()
+            except OSError:
+                pass
+        if self.process.is_alive():
+            self.process.terminate()
+        self.process.join(timeout=_STOP_TIMEOUT_S)
+        if self.process.is_alive():
+            self.process.kill()
+            self.process.join(timeout=_STOP_TIMEOUT_S)
 
     def close(self) -> None:
         """Stop the worker: ack'd stop, join, hard-kill only as last resort."""
@@ -227,9 +404,17 @@ class ProcessTransport(WorkerTransport):
             self._closed = True
             try:
                 if not self._broken:
-                    self._conn.send(("stop", ()))
-                    if self._conn.poll(_STOP_TIMEOUT_S):
-                        self._conn.recv()
+                    self._drain_locked()
+                    self._seq += 1
+                    self._conn.send((self._seq, "stop", ()))
+                    deadline = now() + _STOP_TIMEOUT_S
+                    while True:
+                        remaining = deadline - now()
+                        if remaining <= 0 or not self._conn.poll(remaining):
+                            break
+                        rseq, _status, _value = self._conn.recv()
+                        if rseq == self._seq:
+                            break
             except (BrokenPipeError, EOFError, OSError):
                 pass  # worker already gone
             finally:
