@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test test-faults bench bench-smoke bench-full serve-smoke serve-scale-smoke serve-chaos-smoke experiments examples clean docs-check profile lint typecheck check check-tape ci
+.PHONY: install test test-faults bench bench-smoke bench-full serve-smoke serve-scale-smoke serve-chaos-smoke scenario-smoke experiments examples clean docs-check profile lint typecheck check check-tape ci
 
 install:
 	pip install -e .
@@ -30,7 +30,7 @@ check:
 check-tape:
 	python -m repro check tape --dataset metr-la-sim
 
-ci: lint docs-check test-faults test bench-smoke serve-smoke serve-scale-smoke serve-chaos-smoke check-tape
+ci: lint docs-check test-faults test bench-smoke serve-smoke serve-scale-smoke serve-chaos-smoke scenario-smoke check-tape
 
 profile:
 	python -m repro profile --dataset metr-la-sim --model d2stgnn --out BENCH_profile.json
@@ -66,6 +66,15 @@ serve-scale-smoke:
 # The bench/full profiles add hang arms and write BENCH_serve_chaos.json.
 serve-chaos-smoke:
 	REPRO_BENCH_PROFILE=tiny pytest benchmarks/bench_serve_chaos.py --benchmark-only -q
+
+# Scenario-engine gate at the tiny scale: the closure-rush event scenario
+# (surge + incident + mid-stream road-closure graph rewrite) through K=2
+# sharded serving, asserting every request answered, the rewritten adjacency
+# published and restored, conditional MAE separating affected from
+# unaffected traffic, and quiet-day parity with replay_split; the bench/full
+# profiles write the tracked BENCH_serve_scenarios.json.
+scenario-smoke:
+	REPRO_BENCH_PROFILE=tiny pytest benchmarks/bench_serve_scenarios.py --benchmark-only -q
 
 bench-output:
 	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt

@@ -1,6 +1,6 @@
 """AST linter with repo-specific rules the generic tools cannot express.
 
-Ten rules (R001–R010), each encoding an invariant this codebase relies on
+Eleven rules (R001–R011), each encoding an invariant this codebase relies on
 for reproducibility or correctness — see ``docs/static-analysis.md`` for the
 full rationale table:
 
@@ -46,6 +46,11 @@ R010      model forwards in the evaluation/serving entry points
           ``Module.inference()``) — an unguarded forward there records
           graph nodes and pollutes the backward-tape cache (the PR 5
           tape-hygiene invariant)
+R011      every event class in :mod:`repro.data.events` must declare an
+          explicit ``seed``/``rng`` field, and the module must not draw
+          from an argless ``default_rng()`` — scenario schedules are
+          replayed for conditional evaluation, so an event with hidden
+          randomness can never reproduce the stream it perturbed
 ========  ==============================================================
 
 Suppression: append ``# lint: disable`` (all rules) or
@@ -90,6 +95,7 @@ LINT_RULES = {
     "R008": "no model forwards in repro.serve outside the micro-batcher",
     "R009": "no model forwards in the sharded serving modules; cross the transport as ops",
     "R010": "evaluation/serving model forwards must run under inference_mode()",
+    "R011": "event classes must declare an explicit seed/rng field; no argless default_rng()",
 }
 
 # Paths (posix, repo-relative prefixes) where a rule legitimately does not
@@ -156,6 +162,15 @@ _INFERENCE_REQUIRED_PATHS = (
     "src/repro/serve/microbatch.py",
 )
 _INFERENCE_CONTEXT_NAMES = frozenset({"inference_mode", "inference", "no_grad"})
+
+# R011: the event model.  Scenario events are seeded and replayed (the same
+# schedule must perturb the stream and build its ground-truth effect masks),
+# so every concrete event class must carry its randomness explicitly — a
+# declared ``seed``/``rng`` field — and the module may never reach for an
+# argless ``default_rng()``.
+_EVENT_PATHS = ("src/repro/data/events.py",)
+_EVENT_BASE_NAMES = frozenset({"Event"})
+_EVENT_SEED_FIELDS = frozenset({"seed", "rng"})
 
 _SUPPRESS_RE = re.compile(r"#\s*lint:\s*disable(?:=(?P<rules>[\w,\s]+))?")
 
@@ -258,6 +273,7 @@ class _Visitor(ast.NodeVisitor):
         self._scale_scoped = path in _SCALE_PATHS
         self._inference_required = path in _INFERENCE_REQUIRED_PATHS
         self._inference_depth = 0
+        self._event_scoped = path in _EVENT_PATHS
 
     def _report(self, node: ast.AST, rule: str, message: str) -> None:
         self.findings.append(Finding(self.path, node.lineno, rule, message))
@@ -348,6 +364,21 @@ class _Visitor(ast.NodeVisitor):
                 "inference_mode(); wrap it in `with inference_mode():` "
                 "(or Module.inference())",
             )
+        # R011: an argless default_rng() inside the event module draws from
+        # OS entropy — the schedule can never be replayed.  (R001 catches
+        # the np.random-qualified spelling; this catches the bare import.)
+        if (
+            self._event_scoped
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "default_rng"
+            and not node.args
+            and not node.keywords
+        ):
+            self._report(
+                node, "R011",
+                "argless default_rng() in the event module; "
+                "draw from the event's declared seed field",
+            )
         # R006: truncating open() inside the state-persisting modules.
         if (
             self._persists_state
@@ -426,8 +457,50 @@ class _Visitor(ast.NodeVisitor):
     visit_With = _visit_with
     visit_AsyncWith = _visit_with
 
+    # -- R011 ----------------------------------------------------------
+    @staticmethod
+    def _is_event_base(base: ast.expr) -> bool:
+        """True when a class base names the events ``Event`` base class."""
+        if isinstance(base, ast.Name):
+            return base.id in _EVENT_BASE_NAMES
+        return isinstance(base, ast.Attribute) and base.attr in _EVENT_BASE_NAMES
+
+    @staticmethod
+    def _declares_seed_field(node: ast.ClassDef) -> bool:
+        """True when the class declares a ``seed``/``rng`` dataclass field
+        or takes one as an ``__init__`` parameter."""
+        for item in node.body:
+            if (
+                isinstance(item, ast.AnnAssign)
+                and isinstance(item.target, ast.Name)
+                and item.target.id in _EVENT_SEED_FIELDS
+            ):
+                return True
+            if isinstance(item, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id in _EVENT_SEED_FIELDS
+                for t in item.targets
+            ):
+                return True
+            if isinstance(item, ast.FunctionDef) and item.name == "__init__":
+                args = item.args
+                names = [a.arg for a in args.args + args.kwonlyargs]
+                if any(name in _EVENT_SEED_FIELDS for name in names):
+                    return True
+        return False
+
     # -- R002 / R003 ---------------------------------------------------
     def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if (
+            self._event_scoped
+            and any(self._is_event_base(base) for base in node.bases)
+            and not self._declares_seed_field(node)
+        ):
+            self._report(
+                node, "R011",
+                f"event class {node.name} declares no explicit seed/rng "
+                "field; scenario events must carry their randomness so "
+                "schedules replay bit-identically",
+            )
         if any(_is_module_base(base) for base in node.bases):
             init_fn = next(
                 (

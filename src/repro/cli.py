@@ -6,8 +6,10 @@
                           --checkpoint model.npz --resume state.npz
     python -m repro evaluate --checkpoint model.npz --dataset metr-la-sim
     python -m repro serve --dataset metr-la-sim --model STGCN --replay-steps 32
+    python -m repro scenario list             # named event scenarios
+    python -m repro scenario run --name closure-rush --workers 2
     python -m repro profile --dataset metr-la-sim --model d2stgnn
-    python -m repro lint                      # repo-specific AST lint (R001-R009)
+    python -m repro lint                      # repo-specific AST lint (R001-R011)
     python -m repro check --dataset metr-la-sim   # model zoo static analysis
 
 Everything the CLI does is a thin layer over the public API; see
@@ -457,6 +459,117 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_scenario(args) -> int:
+    """``repro scenario``: named event scenarios against the serving stack.
+
+    ``repro scenario list`` prints the named event scenarios (composable
+    timed events — incidents, road closures, demand surges, special
+    events, sensor bias, regime shifts; see :mod:`repro.data.events`) and
+    the static dataset scenario presets.
+
+    ``repro scenario run`` drives one scenario through a serving engine:
+    the events perturb the tail of the dataset's stream, every road
+    closure rewrites the adjacency mid-stream (published to the engine as
+    a new bundle version plus a graph-version tag that invalidates stale
+    cached predictions), and the run is scored *conditionally* — MAE on
+    affected vs. unaffected nodes, during vs. outside each event — on top
+    of the usual serving telemetry.  ``--out`` writes the full
+    ``repro.serve.scenario/v1`` report as JSON.
+    """
+    import numpy as np
+
+    from .data import EVENT_SCENARIOS, SCENARIOS, event_scenario
+    from .serve import (
+        ModelRegistry,
+        ServeConfig,
+        ServingEngine,
+        ShardedServingEngine,
+        SlidingWindowStore,
+        make_servable,
+        run_scenario,
+        save_scenario_report,
+    )
+
+    if args.action == "list":
+        print("event scenarios (repro scenario run --name NAME):")
+        for name, description in sorted(EVENT_SCENARIOS.items()):
+            print(f"  {name:<14} {description}")
+        print("dataset scenario presets (repro.data.scenario_config):")
+        for name in sorted(SCENARIOS):
+            print(f"  {name}")
+        return 0
+
+    if args.workers < 1:
+        raise SystemExit(f"--workers must be >= 1, got {args.workers}")
+    set_seed(args.seed)
+    data = _get_data(args)
+    name = _canonical_model(args.model)
+    if name in STATISTICAL:
+        raise SystemExit(
+            f"{name} is a statistical baseline; only neural models are servable"
+        )
+    model, _ = _build_model(name, data, args.hidden, args.layers)
+    if args.checkpoint:
+        load_checkpoint(args.checkpoint, model)
+    bundle = make_servable(
+        name, model, data, hidden=args.hidden, layers=args.layers,
+        extra={"dataset": args.dataset},
+    )
+    adjacency = np.asarray(data.adjacency)
+    try:
+        scenario = event_scenario(
+            args.name, adjacency, args.replay_steps, seed=args.seed
+        )
+    except KeyError as error:
+        raise SystemExit(error.args[0]) from None
+    config = ServeConfig(max_batch=args.max_batch, max_wait_s=args.max_wait_ms / 1000.0)
+    if args.workers > 1:
+        engine = ShardedServingEngine(
+            bundle, num_shards=args.workers, config=config, transport=args.transport,
+        )
+    else:
+        registry = ModelRegistry()
+        registry.publish(bundle)
+        engine = ServingEngine(registry, SlidingWindowStore.for_bundle(bundle), config)
+    with engine:
+        result = run_scenario(
+            engine, data, scenario,
+            steps=args.replay_steps,
+            requests_per_step=args.requests_per_step,
+            concurrency=args.concurrency,
+        )
+    report = result.report
+    print(f"scenario {scenario.name} (seed {scenario.seed}): "
+          f"{len(report['events'])} events over {report['steps']} ticks, "
+          f"{report['serving']['requests']} requests")
+    for update in report["graph_updates"]:
+        closed = update["closed_nodes"]
+        what = f"closed nodes {closed}" if closed else "graph restored"
+        print(f"  graph:     tick {update['tick']}: {what} "
+              f"-> version {update['version']}")
+    overall = report["overall"]
+    mae = "n/a" if overall["mae"] is None else f"{overall['mae']:.3f}"
+    print(f"  overall:   mae {mae} over {overall['scored_ticks']} scored ticks")
+    for label, cond in report["conditional"].items():
+        during = cond["affected_during"]["mae"]
+        outside = cond["affected_outside"]["mae"]
+        during = "n/a" if during is None else f"{during:.3f}"
+        outside = "n/a" if outside is None else f"{outside:.3f}"
+        print(f"  {label}: affected-node mae {during} during, {outside} outside "
+              f"({cond['affected_nodes']} nodes)")
+    serving = report["serving"]
+    latency = serving["latency_ms"]
+    print(f"  serving:   sources {serving['sources']} "
+          f"{serving['fallback_reasons']}, fallback rate "
+          f"{serving['fallback_rate']:.2f}")
+    print(f"  latency:   p50 {latency['p50']:.2f} ms, p95 {latency['p95']:.2f} ms, "
+          f"p99 {latency['p99']:.2f} ms")
+    if args.out:
+        path = save_scenario_report(result, args.out)
+        print(f"  report -> {path}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for the ``repro`` CLI."""
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
@@ -550,6 +663,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=cmd_serve)
 
+    p = sub.add_parser(
+        "scenario",
+        help="run named event scenarios (closures, surges, incidents) "
+             "through the serving stack with conditional accuracy",
+    )
+    p.add_argument("action", choices=("run", "list"),
+                   help="'run' drives a scenario through serving; "
+                        "'list' prints the available scenario names")
+    p.add_argument("--name", default="closure-rush",
+                   help="event scenario name (see `repro scenario list`)")
+    p.add_argument("--dataset", default="metr-la-sim",
+                   help="preset name or a .npz written by `repro simulate`")
+    p.add_argument("--model", default="STGCN",
+                   help="model name (case-insensitive); statistical baselines are rejected")
+    p.add_argument("--checkpoint", default=None,
+                   help="trained checkpoint to serve (default: untrained weights)")
+    p.add_argument("--replay-steps", type=int, default=48,
+                   help="observation ticks; event times are placed within them")
+    p.add_argument("--requests-per-step", type=int, default=4)
+    p.add_argument("--concurrency", type=int, default=4)
+    p.add_argument("--workers", type=int, default=1,
+                   help="spatial shards; >1 serves through the sharded router")
+    p.add_argument("--transport", default="process",
+                   choices=("process", "loopback"),
+                   help="how shard workers are hosted when --workers > 1")
+    p.add_argument("--max-batch", type=int, default=16)
+    p.add_argument("--max-wait-ms", type=float, default=2.0,
+                   help="micro-batcher coalescing window in milliseconds")
+    p.add_argument("--out", default=None,
+                   help="write the repro.serve.scenario/v1 report to this JSON path")
+    p.add_argument("--hidden", type=int, default=16)
+    p.add_argument("--layers", type=int, default=2)
+    p.add_argument("--nodes", type=int, default=None)
+    p.add_argument("--steps", type=int, default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_scenario)
+
     p = sub.add_parser("profile", help="profile op-level hotspots of training steps")
     p.add_argument("--dataset", default="metr-la-sim",
                    help="preset name or a .npz written by `repro simulate`")
@@ -573,7 +723,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "with --train-step)")
     p.set_defaults(fn=cmd_profile)
 
-    p = sub.add_parser("lint", help="run the repo-specific AST linter (rules R001-R010)")
+    p = sub.add_parser("lint", help="run the repo-specific AST linter (rules R001-R011)")
     p.add_argument("paths", nargs="*", default=list(DEFAULT_LINT_PATHS),
                    help="files or directories to lint (default: src examples benchmarks)")
     p.add_argument("--root", default=".", help="repository root the paths are relative to")

@@ -3,6 +3,7 @@
 from .adjacency import (
     binary_adjacency,
     gaussian_kernel_adjacency,
+    mask_adjacency,
     shortest_path_distances,
     validate_adjacency,
 )
@@ -30,6 +31,7 @@ __all__ = [
     "hop_neighborhood",
     "localized_transition",
     "localized_transition_stack",
+    "mask_adjacency",
     "mask_self_loops",
     "matrix_powers",
     "symmetric_normalized_laplacian",

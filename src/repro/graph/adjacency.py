@@ -15,6 +15,7 @@ __all__ = [
     "shortest_path_distances",
     "gaussian_kernel_adjacency",
     "binary_adjacency",
+    "mask_adjacency",
     "validate_adjacency",
 ]
 
@@ -71,6 +72,43 @@ def binary_adjacency(distances: np.ndarray) -> np.ndarray:
     """0/1 connectivity matrix (used by the flow datasets, after ASTGCN)."""
     adj = np.isfinite(distances) & (distances > 0)
     return adj.astype(np.float32)
+
+
+def mask_adjacency(
+    adjacency: np.ndarray,
+    *,
+    nodes=(),
+    edges=(),
+    keep_self_loops: bool = True,
+) -> np.ndarray:
+    """A copy of ``adjacency`` with closed roads removed.
+
+    ``nodes`` severs every edge touching the listed nodes (their rows and
+    columns are zeroed; ``keep_self_loops`` preserves the diagonal so the
+    node still exists, merely unreachable); ``edges`` removes individual
+    ``(i, j)`` pairs in both directions.  This is the masked-adjacency
+    derivation behind :class:`repro.data.events.RoadClosure`: the rewritten
+    matrix is what serving hot-swaps to mid-stream when a closure begins or
+    lifts.
+    """
+    masked = validate_adjacency(adjacency).copy()
+    n = masked.shape[0]
+    node_ids = np.asarray(sorted({int(node) for node in nodes}), dtype=np.int64)
+    if node_ids.size:
+        if node_ids.min() < 0 or node_ids.max() >= n:
+            raise ValueError(f"closed nodes outside [0, {n})")
+        diagonal = masked[node_ids, node_ids].copy()
+        masked[node_ids, :] = 0.0
+        masked[:, node_ids] = 0.0
+        if keep_self_loops:
+            masked[node_ids, node_ids] = diagonal
+    for i, j in edges:
+        i, j = int(i), int(j)
+        if not (0 <= i < n and 0 <= j < n):
+            raise ValueError(f"closed edge ({i}, {j}) outside [0, {n})")
+        masked[i, j] = 0.0
+        masked[j, i] = 0.0
+    return masked
 
 
 def validate_adjacency(adjacency: np.ndarray) -> np.ndarray:

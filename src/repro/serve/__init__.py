@@ -35,11 +35,15 @@ bottom to top:
 
 Entry points: ``repro serve`` on the command line (``--workers`` selects
 the sharded stack, ``--supervise`` turns on self-healing),
-:func:`replay_split` for trace-driven drives, :func:`run_load` for
-open-loop Poisson load generation (``faults=`` injects serving chaos from
-:mod:`repro.faults.serving`), ``benchmarks/bench_serve.py``,
-``benchmarks/bench_serve_scale.py`` and ``benchmarks/bench_serve_chaos.py``
-for the tracked ``BENCH_serve*.json`` gates.
+:func:`replay_split` for trace-driven drives, :func:`run_scenario` for
+event-scenario drives with conditional accuracy and mid-stream graph
+rewrites (``repro scenario run``; events from :mod:`repro.data.events`),
+:func:`run_load` for open-loop Poisson load generation (``faults=``
+injects serving chaos from :mod:`repro.faults.serving`),
+``benchmarks/bench_serve.py``, ``benchmarks/bench_serve_scale.py``,
+``benchmarks/bench_serve_chaos.py`` and
+``benchmarks/bench_serve_scenarios.py`` for the tracked
+``BENCH_serve*.json`` gates.
 """
 
 from .cache import PredictionCache
@@ -50,6 +54,12 @@ from .microbatch import ForecastRequest, MicroBatcher
 from .registry import ModelRegistry, ServableBundle, ServableSpec, make_servable
 from .replay import replay_split
 from .router import ShardedServingEngine
+from .scenario import (
+    SCENARIO_SCHEMA,
+    ScenarioRunResult,
+    run_scenario,
+    save_scenario_report,
+)
 from .shard import GraphPartition, ShardPlan, partition_graph, shard_bundle
 from .supervise import ReplayJournal, ShardSupervisor
 from .transport import (
@@ -74,6 +84,8 @@ __all__ = [
     "PredictionCache",
     "ProcessTransport",
     "ReplayJournal",
+    "SCENARIO_SCHEMA",
+    "ScenarioRunResult",
     "ServableBundle",
     "ServableSpec",
     "ServeConfig",
@@ -91,5 +103,7 @@ __all__ = [
     "poisson_arrivals",
     "replay_split",
     "run_load",
+    "run_scenario",
+    "save_scenario_report",
     "shard_bundle",
 ]

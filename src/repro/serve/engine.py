@@ -55,6 +55,7 @@ __all__ = ["DEFAULT_OP_TIMEOUTS", "ServeConfig", "ForecastResult", "EngineCore",
 DEFAULT_OP_TIMEOUTS: dict[str, float] = {
     "observe": 10.0,
     "forecast": 10.0,
+    "set_graph": 10.0,
     "telemetry": 10.0,
     "activate": 30.0,
     "publish": 120.0,
@@ -145,9 +146,33 @@ class EngineCore:
     # ------------------------------------------------------------------
     # Ingestion
     # ------------------------------------------------------------------
-    def observe(self, values: np.ndarray, tod: int, dow: int) -> int:
-        """Ingest one observation row and invalidate now-stale predictions."""
-        signature = self.store.append(values, tod, dow)
+    def observe(
+        self,
+        values: np.ndarray,
+        tod: int,
+        dow: int,
+        graph_version: int | None = None,
+    ) -> int:
+        """Ingest one observation row and invalidate now-stale predictions.
+
+        ``graph_version`` optionally tags the tick with the adjacency
+        version it was observed under (see
+        :meth:`SlidingWindowStore.append`); a changed tag invalidates
+        cached predictions computed against the previous graph.
+        """
+        signature = self.store.append(values, tod, dow, graph_version=graph_version)
+        self.cache.invalidate_stale(signature)
+        return signature
+
+    def set_graph_version(self, graph_version: int) -> int:
+        """Absorb a mid-stream graph rewrite with no new observation.
+
+        Bumps the window signature through the store's adjacency tag and
+        drops cache entries keyed to the old signature, so a road closure
+        landing between two observations can never be answered from a
+        stale-graph cache hit.
+        """
+        signature = self.store.set_graph_version(graph_version)
         self.cache.invalidate_stale(signature)
         return signature
 

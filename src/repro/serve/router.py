@@ -254,20 +254,31 @@ class ShardedServingEngine:
     # ------------------------------------------------------------------
     # Ingestion: scatter each row's owned+halo slices to the workers
     # ------------------------------------------------------------------
-    def observe(self, values: np.ndarray, tod: int, dow: int) -> int:
+    def observe(
+        self,
+        values: np.ndarray,
+        tod: int,
+        dow: int,
+        graph_version: int | None = None,
+    ) -> int:
         values = np.asarray(values, dtype=np.float32).reshape(-1)
         if values.shape[0] != self.store.num_nodes:
             raise ValueError(
                 f"expected {self.store.num_nodes} node values, got {values.shape[0]}"
             )
         slices = self.partition.scatter_row(values)
+        if graph_version is None:
+            payloads = [(local, tod, dow) for local in slices]
+        else:
+            # Per-tick adjacency tag: each shard bumps its window signature
+            # when the tag changes, so a mid-stream graph rewrite invalidates
+            # its prediction cache (see SlidingWindowStore.append).
+            payloads = [(local, tod, dow, int(graph_version)) for local in slices]
         with self._rpc_lock:
             # Journal inside the same round: a supervisor delta-replay can
             # never interleave between a scatter and its journal entry.
             self.journal.record(slices, tod, dow)
-            outcomes = self._broadcast_locked(
-                "observe", [(local, tod, dow) for local in slices]
-            )
+            outcomes = self._broadcast_locked("observe", payloads)
         _outcomes, failures = self._settle("observe", outcomes)
         if failures and not self.config.policy.fallback_on_error:
             raise failures[0][1]
@@ -277,6 +288,26 @@ class ShardedServingEngine:
             self.observed += 1
             self._signature += 1
             self._last_time = (int(tod), int(dow))
+            return self._signature
+
+    def set_graph_version(self, graph_version: int) -> int:
+        """Broadcast a mid-stream graph rewrite to every shard.
+
+        The sharded counterpart of :meth:`EngineCore.set_graph_version`: a
+        road closure between two observations must invalidate every
+        shard's prediction cache even though no new row arrived.  Shards
+        that cannot be reached degrade as usual (their caches are rebuilt
+        from scratch by the supervisor anyway).
+        """
+        with self._rpc_lock:
+            outcomes = self._broadcast_locked(
+                "set_graph", [(int(graph_version),)] * len(self.workers)
+            )
+        _outcomes, failures = self._settle("set_graph", outcomes)
+        if failures and not self.config.policy.fallback_on_error:
+            raise failures[0][1]
+        with self._state_lock:
+            self._signature += 1
             return self._signature
 
     def last_time(self) -> tuple[int, int]:

@@ -13,8 +13,9 @@ runs* behind one small request/reply surface:
   window store, cache and micro-batcher outright, so K workers serve K
   graph shards with no shared interpreter state.
 
-Both speak the same op set — ``observe``, ``forecast``, ``publish``,
-``activate``, ``telemetry``, ``ping``, ``stop`` — and both support the
+Both speak the same op set — ``observe``, ``forecast``, ``set_graph``,
+``publish``, ``activate``, ``telemetry``, ``ping``, ``stop`` — and both
+support the
 split ``post``/``wait`` form the router uses to scatter a request across
 every shard before gathering any reply.  Worker failures surface as
 :class:`TransportError` carrying the shard index and op, which the
@@ -114,11 +115,19 @@ class WorkerTransport:
         return self.wait()
 
     # Fused conveniences -------------------------------------------------
-    def observe(self, values, tod: int, dow: int) -> int:
-        return self.request("observe", (values, tod, dow))
+    def observe(
+        self, values, tod: int, dow: int, graph_version: int | None = None
+    ) -> int:
+        if graph_version is None:
+            return self.request("observe", (values, tod, dow))
+        return self.request("observe", (values, tod, dow, graph_version))
 
     def forecast(self, horizon: int | None = None) -> ForecastResult:
         return self.request("forecast", (horizon,))
+
+    def set_graph_version(self, graph_version: int) -> int:
+        """Tell the worker the adjacency changed (mid-stream graph rewrite)."""
+        return self.request("set_graph", (graph_version,))
 
     def publish(self, bundle, version: str, activate: bool = True) -> str:
         return self.request("publish", (bundle, version, activate))
@@ -149,10 +158,13 @@ class WorkerTransport:
 def _apply(core: EngineCore, op: str, payload: tuple):
     """Execute one transport op against a serving core."""
     if op == "observe":
-        values, tod, dow = payload
-        return core.observe(values, tod, dow)
+        values, tod, dow = payload[:3]
+        graph_version = payload[3] if len(payload) > 3 else None
+        return core.observe(values, tod, dow, graph_version=graph_version)
     if op == "forecast":
         return core.forecast(payload[0])
+    if op == "set_graph":
+        return core.set_graph_version(payload[0])
     if op == "publish":
         bundle, version, activate = payload
         return core.registry.publish(bundle, version=version, activate=activate)

@@ -53,6 +53,7 @@ class SlidingWindowStore:
         self._head = 0  # next slot to overwrite
         self._count = 0
         self._version = 0
+        self._graph_version = 0
         self._lock = threading.Lock()
 
     @classmethod
@@ -65,13 +66,25 @@ class SlidingWindowStore:
             null_value=bundle.spec.null_value,
         )
 
-    def append(self, values: np.ndarray, tod: int, dow: int) -> int:
+    def append(
+        self,
+        values: np.ndarray,
+        tod: int,
+        dow: int,
+        graph_version: int | None = None,
+    ) -> int:
         """Ingest one observation row (raw units); returns the new signature.
 
         ``values`` is the ``(num_nodes,)`` sensor reading; ``tod``/``dow``
         its time-of-day slot and day-of-week.  Null-coded outage entries are
         neutralised by the scaler at ingest (``mask_nulls``), exactly once —
         the stored scaled row is what the model will see.
+
+        ``graph_version`` is an optional per-tick adjacency version tag: a
+        change (e.g. a mid-stream road closure rewriting the graph) bumps
+        the window signature an extra step, so predictions computed against
+        the old graph become unreachable in the cache even though the
+        window *contents* look the same.
         """
         values = np.asarray(values, dtype=np.float32).reshape(-1)
         if values.shape[0] != self.num_nodes:
@@ -80,6 +93,9 @@ class SlidingWindowStore:
             )
         scaled = self.scaler.transform(values)
         with self._lock:
+            if graph_version is not None and int(graph_version) != self._graph_version:
+                self._graph_version = int(graph_version)
+                self._version += 1
             slot = self._head
             self._raw[slot] = values
             self._scaled[slot] = scaled
@@ -89,6 +105,27 @@ class SlidingWindowStore:
             self._count = min(self._count + 1, self.history)
             self._version += 1
             return self._version
+
+    def set_graph_version(self, graph_version: int) -> int:
+        """Record a mid-stream graph rewrite; returns the new signature.
+
+        A road closure can land *between* observations — without this, a
+        prediction cached for the current window would keep being served
+        against a graph that no longer exists.  Changing the tag bumps the
+        signature so stale-graph cache entries become unreachable; setting
+        the same tag again is a no-op.
+        """
+        with self._lock:
+            if int(graph_version) != self._graph_version:
+                self._graph_version = int(graph_version)
+                self._version += 1
+            return self._version
+
+    @property
+    def graph_version(self) -> int:
+        """The adjacency version tag the window was last ingested under."""
+        with self._lock:
+            return self._graph_version
 
     def warm_from(self, values: np.ndarray, tod: np.ndarray, dow: np.ndarray) -> int:
         """Bulk-ingest ``(T, num_nodes)`` rows (e.g. the tail of a recording)."""

@@ -47,11 +47,12 @@ class TestGoldenFixture:
     def test_every_rule_fires_at_least_once(self):
         rules = {f.rule for f in lint_file(FIXTURE)}
         # R007 is scoped to the data/training packages, R008 to the serve
-        # package, R009 to the sharded-serving modules and R010 to the
-        # inference entry points, so none of them can fire on the fixture's
-        # path; TestPerSampleLoops, TestServeForwards, TestScaleForwards,
-        # TestInferenceForwards and TestPerRuleFixtures cover them in place.
-        assert rules == set(LINT_RULES) - {"R007", "R008", "R009", "R010"}
+        # package, R009 to the sharded-serving modules, R010 to the
+        # inference entry points and R011 to the event module, so none of
+        # them can fire on the fixture's path; TestPerSampleLoops,
+        # TestServeForwards, TestScaleForwards, TestInferenceForwards,
+        # TestEventSeeds and TestPerRuleFixtures cover them in place.
+        assert rules == set(LINT_RULES) - {"R007", "R008", "R009", "R010", "R011"}
 
     def test_suppressed_lines_do_not_appear(self):
         lines = {f.line for f in lint_file(FIXTURE)}
@@ -320,6 +321,47 @@ class TestInferenceForwards:
         assert self._lint(tmp_path, "src/repro/training/evaluation.py", body) == []
 
 
+class TestEventSeeds:
+    """R011: event classes carry explicit seeds; no argless default_rng()."""
+
+    def _lint(self, tmp_path: Path, rel: str, body: str):
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(body)
+        return [f.rule for f in lint_file(path, relative_to=tmp_path)]
+
+    def test_event_class_without_seed_fires(self, tmp_path):
+        body = "class Flood(Event):\n    start: int = 0\n"
+        assert self._lint(tmp_path, "src/repro/data/events.py", body) == ["R011"]
+
+    def test_rng_field_or_init_param_accepted(self, tmp_path):
+        body = (
+            "class A(Event):\n    rng: object = None\n"
+            "class B(Event):\n"
+            "    def __init__(self, start, seed=0):\n"
+            "        self.start = start\n"
+            "        self.seed = seed\n"
+        )
+        assert self._lint(tmp_path, "src/repro/data/events.py", body) == []
+
+    def test_non_event_class_not_checked(self, tmp_path):
+        body = "class Report:\n    start: int = 0\n"
+        assert self._lint(tmp_path, "src/repro/data/events.py", body) == []
+
+    def test_bare_default_rng_fires_only_in_events_module(self, tmp_path):
+        body = "def schedule():\n    return default_rng()\n"
+        assert self._lint(tmp_path, "src/repro/data/events.py", body) == ["R011"]
+        assert self._lint(tmp_path, "src/repro/data/simulator.py", body) == []
+
+    def test_seeded_default_rng_accepted(self, tmp_path):
+        body = "def schedule(seed):\n    return default_rng(seed)\n"
+        assert self._lint(tmp_path, "src/repro/data/events.py", body) == []
+
+    def test_rule_does_not_apply_outside_events_module(self, tmp_path):
+        body = "class Flood(Event):\n    start: int = 0\n"
+        assert self._lint(tmp_path, "src/repro/faults/events.py", body) == []
+
+
 # One (scoped path, violating body, compliant body) triple per rule: the
 # violating body must fire exactly that rule at that path, the compliant
 # body must be silent, and a `# lint: disable=<rule>` on the violating line
@@ -383,6 +425,11 @@ RULE_FIXTURES = {
         "def evaluate_split(model, x, tod, dow):\n"
         "    with inference_mode():\n"
         "        return model(x, tod, dow)\n",
+    ),
+    "R011": (
+        "src/repro/data/events.py",
+        "class Flood(Event):\n    start: int = 0\n",
+        "class Flood(Event):\n    start: int = 0\n    seed: int = 0\n",
     ),
 }
 
@@ -510,7 +557,7 @@ class TestRuleTable:
     def test_rules_are_documented(self):
         assert set(LINT_RULES) == {
             "R001", "R002", "R003", "R004", "R005", "R006", "R007", "R008",
-            "R009", "R010",
+            "R009", "R010", "R011",
         }
         for rule, description in LINT_RULES.items():
             assert description, rule

@@ -1,0 +1,304 @@
+"""The scenario event model: determinism, commutativity, composition."""
+
+import dataclasses
+import random
+
+import numpy as np
+import pytest
+
+from repro.data import load_dataset
+from repro.data.events import (
+    EVENT_SCENARIOS,
+    DemandSurge,
+    GraphUpdate,
+    Incident,
+    RegimeShift,
+    RoadClosure,
+    Scenario,
+    SensorBias,
+    SpecialEvent,
+    apply_events,
+    event_scenario,
+    seeded_events,
+)
+from repro.graph import mask_adjacency
+from repro.utils.seed import get_rng, set_seed
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("metr-la-sim", num_nodes=12, num_steps=240)
+
+
+@pytest.fixture(scope="module")
+def series(dataset):
+    return dataset.series
+
+
+@pytest.fixture(scope="module")
+def adjacency(dataset):
+    return np.asarray(dataset.adjacency)
+
+
+def _timeline_key(timeline):
+    """Bit-comparable form of a graph timeline (adjacency as raw bytes)."""
+    return [
+        (u.tick, u.closed_nodes, u.adjacency.tobytes()) for u in timeline
+    ]
+
+
+def _sample_events(adjacency):
+    """One instance of every event type, overlapping in time."""
+    return (
+        Incident(start=20, node=3, duration=30, severity=0.6, spillover=0.5, seed=1),
+        RoadClosure(start=30, nodes=(5,), duration=25, seed=2),
+        DemandSurge(start=10, nodes=(0, 1, 2), duration=60, magnitude=0.5, seed=3),
+        SpecialEvent(start=25, center=7, duration=40, hops=2, magnitude=0.6, seed=4),
+        SensorBias(start=40, nodes=(8, 9), rate=0.04, seed=5),
+        RegimeShift(start=100, shift_steps=6, level=1.05, seed=6),
+    )
+
+
+class TestZeroEventIdentity:
+    def test_empty_event_list_returns_the_same_series_object(self, series, adjacency):
+        applied = apply_events(series, (), adjacency)
+        assert applied.series is series
+        assert applied.base is series
+        assert applied.labels == () and applied.masks == {}
+        assert applied.graph_timeline == ()
+
+    def test_empty_scenario_is_byte_identical(self, series, adjacency):
+        applied = apply_events(series, (), adjacency)
+        assert applied.series.values.tobytes() == series.values.tobytes()
+
+    def test_applying_events_consumes_no_shared_rng_draws(self, series, adjacency):
+        # Every event type draws only from its own declared seed (R011):
+        # applying a full scenario must leave the shared seeded stream
+        # exactly where it was.
+        set_seed(99)
+        apply_events(series, _sample_events(adjacency), adjacency)
+        after_apply = get_rng().random(8)
+        set_seed(99)
+        np.testing.assert_array_equal(after_apply, get_rng().random(8))
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self, adjacency):
+        kwargs = dict(incidents=2, closures=1, surges=1, specials=1, biases=1, shifts=1)
+        first = seeded_events(adjacency, 240, seed=11, **kwargs)
+        second = seeded_events(adjacency, 240, seed=11, **kwargs)
+        assert first == second
+        assert first != seeded_events(adjacency, 240, seed=12, **kwargs)
+
+    def test_same_seed_same_applied_series(self, series, adjacency):
+        events = seeded_events(adjacency, 240, incidents=1, closures=1, surges=1, seed=7)
+        a = apply_events(series, events, adjacency)
+        b = apply_events(series, events, adjacency)
+        assert a.series.values.tobytes() == b.series.values.tobytes()
+        assert a.series.failure_mask.tobytes() == b.series.failure_mask.tobytes()
+
+    def test_event_scenario_is_deterministic(self, adjacency):
+        a = event_scenario("closure-rush", adjacency, 48, seed=5)
+        b = event_scenario("closure-rush", adjacency, 48, seed=5)
+        assert a == b
+        assert a.events and any(isinstance(e, RoadClosure) for e in a.events)
+
+    def test_unknown_scenario_lists_available_names(self, adjacency):
+        with pytest.raises(KeyError, match="closure-rush"):
+            event_scenario("nope", adjacency, 48)
+
+    def test_every_named_scenario_builds_and_applies(self, series, adjacency):
+        for name in EVENT_SCENARIOS:
+            scenario = event_scenario(name, adjacency, 64, seed=1)
+            applied = apply_events(series, scenario.events, adjacency)
+            assert np.isfinite(applied.series.values).all(), name
+
+
+class TestCommutativity:
+    def test_shuffled_event_order_is_bit_identical(self, series, adjacency):
+        events = list(_sample_events(adjacency))
+        reference = apply_events(series, tuple(events), adjacency)
+        shuffler = random.Random(13)
+        for _ in range(4):
+            shuffler.shuffle(events)
+            permuted = apply_events(series, tuple(events), adjacency)
+            assert (
+                permuted.series.values.tobytes()
+                == reference.series.values.tobytes()
+            )
+            assert permuted.masks.keys() == reference.masks.keys()
+            for label in reference.masks:
+                np.testing.assert_array_equal(
+                    permuted.masks[label], reference.masks[label]
+                )
+            assert _timeline_key(permuted.graph_timeline) == _timeline_key(
+                reference.graph_timeline
+            )
+
+    def test_overlapping_closures_union_commutes(self, series, adjacency):
+        a = RoadClosure(start=10, nodes=(2, 3), duration=30, seed=1)
+        b = RoadClosure(start=20, nodes=(3, 4), duration=30, seed=2)
+        ab = apply_events(series, (a, b), adjacency)
+        ba = apply_events(series, (b, a), adjacency)
+        assert ab.series.values.tobytes() == ba.series.values.tobytes()
+        assert _timeline_key(ab.graph_timeline) == _timeline_key(ba.graph_timeline)
+        # While both are active the closed set is the union.
+        ticks = {u.tick: u.closed_nodes for u in ab.graph_timeline}
+        assert ticks[20] == (2, 3, 4)
+
+
+class TestEventSemantics:
+    def test_incident_slows_site_and_upstream(self, series, adjacency):
+        event = Incident(start=30, node=3, duration=30, severity=0.7, seed=0)
+        applied = apply_events(series, (event,), adjacency)
+        mask = applied.masks[applied.labels[0]]
+        assert mask[45, 3]
+        changed = applied.series.values != series.values
+        assert changed[mask].any()
+        assert not changed[~mask].any()
+        # Speeds only go down under a capacity cut.
+        assert (applied.series.values <= series.values + 1e-5).all()
+
+    def test_closure_nulls_readings_and_flags_failure(self, series, adjacency):
+        event = RoadClosure(start=30, nodes=(5,), duration=20, seed=0)
+        applied = apply_events(series, (event,), adjacency)
+        assert (applied.series.values[30:50, 5] == 0.0).all()
+        assert applied.series.failure_mask[30:50, 5].all()
+        np.testing.assert_array_equal(
+            applied.series.failure_mask[:30], series.failure_mask[:30]
+        )
+
+    def test_closure_timeline_masks_and_restores_adjacency(self, series, adjacency):
+        event = RoadClosure(start=30, nodes=(5,), duration=20, seed=0)
+        applied = apply_events(series, (event,), adjacency)
+        assert [u.tick for u in applied.graph_timeline] == [30, 50]
+        closed, restored = applied.graph_timeline
+        assert isinstance(closed, GraphUpdate)
+        np.testing.assert_array_equal(
+            closed.adjacency, mask_adjacency(adjacency, nodes=(5,))
+        )
+        np.testing.assert_array_equal(restored.adjacency, adjacency)
+        assert restored.closed_nodes == ()
+
+    def test_demand_surge_is_flat_over_window(self, series, adjacency):
+        event = DemandSurge(start=10, nodes=(0, 1), duration=40, magnitude=0.5, seed=0)
+        applied = apply_events(series, (event,), adjacency)
+        inside = applied.series.values[10:50, 0]
+        outside = applied.series.values[50:, 0]
+        assert not np.allclose(inside, series.values[10:50, 0])
+        np.testing.assert_array_equal(outside, series.values[50:, 0])
+
+    def test_special_event_decays_with_hops(self, adjacency):
+        event = SpecialEvent(
+            start=10, center=7, duration=40, hops=2, magnitude=0.6, decay=0.5, seed=0
+        )
+        nodes = event.affected_nodes(adjacency)
+        assert 7 in nodes
+        # At the temporal peak the center is hit hardest: its speed factor
+        # is the smallest among the affected nodes (severity decays per ring).
+        factor = event._factor_field(60, adjacency, "speed")
+        peak = factor.min(axis=0)
+        ring1 = [n for n in nodes if n != 7]
+        assert all(peak[7] <= peak[n] for n in ring1)
+        untouched = [n for n in range(adjacency.shape[0]) if n not in nodes]
+        assert all(peak[n] == 1.0 for n in untouched)
+
+    def test_sensor_bias_drifts_monotonically(self, series, adjacency):
+        event = SensorBias(start=50, nodes=(8,), rate=0.05, seed=1)
+        applied = apply_events(series, (event,), adjacency)
+        offset = np.abs(
+            applied.series.values[:, 8].astype(np.float64)
+            - series.values[:, 8].astype(np.float64)
+        )
+        assert offset[:50].max() == 0.0
+        # Relative drift grows with time; compare the ramp ends.
+        late = offset[200:].mean()
+        early = offset[50:80].mean()
+        assert late > early
+
+    def test_regime_shift_rebases_time(self, series, adjacency):
+        event = RegimeShift(start=100, shift_steps=6, level=1.0, seed=0)
+        applied = apply_events(series, (event,), adjacency)
+        np.testing.assert_array_equal(
+            applied.series.values[:100], series.values[:100]
+        )
+        np.testing.assert_allclose(
+            applied.series.values[120], series.values[114], rtol=1e-5
+        )
+
+    def test_values_respect_speed_limit_clip(self, series, adjacency):
+        surge = DemandSurge(start=0, nodes=tuple(range(12)), duration=240,
+                            magnitude=2.0, seed=0)
+        applied = apply_events(series, (surge,), adjacency)
+        limit = series.config.speed_limit
+        assert applied.series.values.max() <= limit + 1e-5
+        assert applied.series.values.min() >= 0.0
+
+    def test_effect_mask_matches_window_and_nodes(self, adjacency):
+        event = DemandSurge(start=10, nodes=(0, 4), duration=20, magnitude=0.3, seed=0)
+        mask = event.effect_mask(60, adjacency)
+        assert mask.shape == (60, 12)
+        assert mask[10:30, 0].all() and mask[10:30, 4].all()
+        assert not mask[:10].any() and not mask[30:].any()
+        assert not mask[:, 1].any()
+
+    def test_describe_is_json_safe(self, adjacency):
+        import json
+
+        for event in _sample_events(adjacency):
+            payload = event.describe()
+            assert payload["type"] == type(event).__name__
+            json.dumps(payload)
+
+
+class TestValidation:
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError, match="start"):
+            Incident(start=-1, node=0, seed=0)
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ValueError, match="duration"):
+            RoadClosure(start=0, nodes=(0,), duration=0, seed=0)
+
+    def test_out_of_range_nodes_rejected(self, series, adjacency):
+        event = DemandSurge(start=0, nodes=(99,), duration=10, seed=0)
+        with pytest.raises(ValueError, match="nodes"):
+            apply_events(series, (event,), adjacency)
+
+    def test_adjacency_shape_mismatch_rejected(self, series):
+        with pytest.raises(ValueError, match="nodes"):
+            apply_events(
+                series,
+                (DemandSurge(start=0, nodes=(0,), duration=10, seed=0),),
+                np.eye(5, dtype=np.float32),
+            )
+
+    def test_scenario_events_coerced_to_tuple(self):
+        scenario = Scenario("x", [RoadClosure(start=0, nodes=(0,), seed=0)])
+        assert isinstance(scenario.events, tuple)
+
+    def test_events_are_frozen(self, adjacency):
+        event = Incident(start=5, node=1, seed=0)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            event.start = 7
+
+
+class TestMaskAdjacency:
+    def test_node_masking_zeroes_rows_and_cols(self, adjacency):
+        masked = mask_adjacency(adjacency, nodes=(3,))
+        assert masked[3, :3].sum() + masked[3, 4:].sum() == 0.0
+        assert masked[:3, 3].sum() + masked[4:, 3].sum() == 0.0
+        assert masked[3, 3] == adjacency[3, 3]  # self-loop kept
+
+    def test_edge_masking_is_symmetric(self, adjacency):
+        masked = mask_adjacency(adjacency, edges=((0, 1),))
+        assert masked[0, 1] == 0.0 and masked[1, 0] == 0.0
+
+    def test_base_adjacency_untouched(self, adjacency):
+        before = adjacency.copy()
+        mask_adjacency(adjacency, nodes=(0, 1))
+        np.testing.assert_array_equal(adjacency, before)
+
+    def test_out_of_range_node_rejected(self, adjacency):
+        with pytest.raises(ValueError):
+            mask_adjacency(adjacency, nodes=(99,))

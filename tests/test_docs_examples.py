@@ -10,7 +10,8 @@ Extracts fenced code blocks from ``docs/*.md``, ``README.md`` and
   fenced block must be a real CLI subcommand;
 * every ``make <target>`` in any fenced block must exist in the Makefile;
 * every Python block in the *executed* docs (``EXECUTED_DOCS``, currently
-  ``docs/scaling.md``, ``docs/serving.md`` and ``docs/tape-analysis.md``)
+  ``docs/scaling.md``, ``docs/scenarios.md``, ``docs/serving.md`` and
+  ``docs/tape-analysis.md``)
   must actually **run**, in file order, sharing one namespace per file —
   those pages are written as sequential, self-contained sessions, so
   drifted behaviour (not just drifted names) fails here.
@@ -85,7 +86,7 @@ def test_cli_subcommands_in_docs_exist():
 
 # Docs written as sequential runnable sessions: every ```python block is
 # executed top to bottom in one shared namespace per file.
-EXECUTED_DOCS = ("scaling.md", "serving.md", "tape-analysis.md")
+EXECUTED_DOCS = ("scaling.md", "scenarios.md", "serving.md", "tape-analysis.md")
 
 
 @pytest.mark.parametrize("name", EXECUTED_DOCS)
